@@ -1,0 +1,71 @@
+//! Compute-kernel microbenchmarks and the kernel-strategy ablations
+//! called out in DESIGN.md: im2col convolution vs the naive sliding
+//! window, blocked matmul vs the triple loop, and GLCM extraction cost
+//! (the feature DeepSAT V2 pays for per image).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use geotorch_raster::glcm::{Glcm, GlcmDirection};
+use geotorch_tensor::ops::conv::{conv2d, conv2d_naive};
+use geotorch_tensor::ops::matmul::matmul_naive;
+use geotorch_tensor::Tensor;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(42)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut r = rng();
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| matmul_naive(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    for &(ch, size) in &[(3usize, 32usize), (13, 32), (3, 64)] {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(&[4, ch, size, size], -1.0, 1.0, &mut r);
+        let w = Tensor::rand_uniform(&[16, ch, 3, 3], -1.0, 1.0, &mut r);
+        let label = format!("c{ch}_s{size}");
+        group.bench_with_input(BenchmarkId::new("im2col", &label), &label, |bench, _| {
+            bench.iter(|| conv2d(&x, &w, None, 1, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &label), &label, |bench, _| {
+            bench.iter(|| conv2d_naive(&x, &w, None, 1, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_glcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glcm");
+    group.sample_size(30);
+    for &size in &[28usize, 64, 128] {
+        let mut r = rng();
+        let img = Tensor::rand_uniform(&[size * size], 0.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| {
+                let g =
+                    Glcm::compute(img.as_slice(), size, size, 16, GlcmDirection::East).unwrap();
+                g.feature_vector()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_glcm);
+criterion_main!(benches);

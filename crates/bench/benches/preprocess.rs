@@ -1,0 +1,101 @@
+//! Preprocessing-pipeline benchmarks: the Figure-8 mechanism (fused
+//! partitioned aggregation vs the materialising baseline), thread
+//! scaling of the partitioned engine, and the offline raster transform
+//! throughput behind Table VIII.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use geotorch_dataframe::exec::with_parallelism;
+use geotorch_dataframe::{DataFrame, Envelope};
+use geotorch_datasets::synth::TripGenerator;
+use geotorch_preprocess::geopandas_like::get_st_grid_dataframe_naive;
+use geotorch_preprocess::raster_processing::{RasterBatch, RasterProcessing};
+use geotorch_preprocess::st_manager::{trips_dataframe, StGridConfig, StManager};
+use geotorch_raster::transforms::AppendNormalizedDifferenceIndex;
+use geotorch_raster::Raster;
+
+fn trips(n: usize) -> (DataFrame, StGridConfig) {
+    let generator = TripGenerator::nyc_like(9);
+    let records = generator.generate(n);
+    let (min_lon, min_lat, max_lon, max_lat) = generator.extent();
+    let df = trips_dataframe(
+        records.iter().map(|t| t.pickup_lat).collect(),
+        records.iter().map(|t| t.pickup_lon).collect(),
+        records.iter().map(|t| t.timestamp).collect(),
+    )
+    .unwrap();
+    let config = StGridConfig {
+        partitions_x: 12,
+        partitions_y: 16,
+        step_duration_sec: 1800,
+        extent: Some(Envelope::new(min_lon, min_lat, max_lon, max_lat)),
+    };
+    (df, config)
+}
+
+fn bench_st_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("st_tensor_prep");
+    group.sample_size(10);
+    for &n in &[50_000usize, 200_000] {
+        let (df, config) = trips(n);
+        let partitioned = df.repartition(8).unwrap();
+        group.bench_with_input(BenchmarkId::new("fused_partitioned", n), &n, |bench, _| {
+            bench.iter(|| {
+                StManager::get_st_grid_array(&partitioned, "lat", "lon", "ts", &config).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_baseline", n), &n, |bench, _| {
+            bench.iter(|| {
+                get_st_grid_dataframe_naive(&df, "lat", "lon", "ts", &config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("st_thread_scaling");
+    group.sample_size(10);
+    let (df, config) = trips(200_000);
+    let partitioned = df.repartition(8).unwrap();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    with_parallelism(t, || {
+                        StManager::get_st_grid_array(&partitioned, "lat", "lon", "ts", &config)
+                            .unwrap()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_raster_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster_transform_batch");
+    group.sample_size(10);
+    let images: Vec<Raster> = (0..32)
+        .map(|i| {
+            Raster::new(
+                (0..4 * 64 * 64).map(|v| ((v + i) % 97) as f32 / 97.0).collect(),
+                4,
+                64,
+                64,
+            )
+            .unwrap()
+        })
+        .collect();
+    let batch = RasterBatch::from_rasters(images);
+    let transform = AppendNormalizedDifferenceIndex::new(0, 1);
+    group.bench_function("append_ndi_32x64x64", |bench| {
+        bench.iter(|| RasterProcessing::transform(&batch, &transform).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_st_pipeline, bench_thread_scaling, bench_raster_transform);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Quick single-dataset comparison of the four grid models under the
+//! paper's training protocol — a lighter-weight companion to
+//! `repro table4` for iterating on datasets or hyper-parameters.
+//!
+//! ```sh
+//! cargo run --release -p geotorch-bench --bin compare_grid_models
+//! ```
+
+use std::time::Instant;
+
+use geotorch_bench::{make_grid_model, paper_train_config, set_representation};
+use geotorch_core::Trainer;
+use geotorch_datasets::{chronological_split, StGridDataset};
+
+fn main() {
+    println!("BikeNYC-DeepSTN (14 days), paper protocol, seed 1\n");
+    println!("{:<16} {:>7} {:>10} {:>9} {:>9}", "model", "epochs", "s/epoch", "MAE", "RMSE");
+    for name in geotorch_bench::GRID_MODEL_NAMES {
+        let mut dataset = StGridDataset::bike_nyc_deepstn(14, 1);
+        set_representation(&mut dataset, name);
+        let (_, c, h, w) = dataset.dims();
+        let model = make_grid_model(name, c, h, w, 7);
+        let epochs = if name == "ConvLSTM" { 12 } else { 40 };
+        let trainer = Trainer::new(paper_train_config(epochs, 0));
+        let (train, val, test) = chronological_split(dataset.len());
+        let start = Instant::now();
+        let report = trainer.fit_grid(model.as_ref(), &dataset, &train, &val);
+        let _ = start;
+        let (mae, rmse) = trainer.evaluate_grid(model.as_ref(), &dataset, &test);
+        println!(
+            "{:<16} {:>7} {:>10.2} {:>9.4} {:>9.4}",
+            name,
+            report.epochs_run,
+            report.mean_epoch_seconds(),
+            mae,
+            rmse
+        );
+    }
+}

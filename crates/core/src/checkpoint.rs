@@ -1,0 +1,112 @@
+//! Model checkpointing: JSON serialisation of a module's state dict.
+
+use std::path::Path;
+
+use geotorch_nn::Module;
+use geotorch_tensor::Tensor;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed checkpoint contents.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "checkpoint format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Save a module's parameters to a JSON file.
+pub fn save(model: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let state = model.state_dict();
+    let json = serde_json::to_string(&state)
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    std::fs::write(path, json).map_err(CheckpointError::Io)
+}
+
+/// Load parameters saved by [`save`] into a structurally identical model.
+pub fn load(model: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+    let state: Vec<Tensor> =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let params = model.parameters();
+    if params.len() != state.len() {
+        return Err(CheckpointError::Format(format!(
+            "checkpoint has {} tensors, model has {} parameters",
+            state.len(),
+            params.len()
+        )));
+    }
+    for (p, t) in params.iter().zip(&state) {
+        if p.shape() != t.shape() {
+            return Err(CheckpointError::Format(format!(
+                "parameter shape {:?} does not match checkpoint shape {:?}",
+                p.shape(),
+                t.shape()
+            )));
+        }
+    }
+    model.load_state_dict(&state);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_models::raster::SatCnn;
+    use geotorch_models::RasterClassifier;
+    use geotorch_nn::Var;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("geotorch_ckpt_{}_{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = SatCnn::new(2, 8, 8, 3, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 2, 8, 8], 0.0, 1.0, &mut rng));
+        let before = model.forward(&x, None).value();
+        let path = tmp("round_trip");
+        save(&model, &path).unwrap();
+
+        // Fresh model with different init must differ, then match after load.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(99);
+        let model2 = SatCnn::new(2, 8, 8, 3, &mut rng2);
+        assert!(!model2.forward(&x, None).value().allclose(&before, 1e-6));
+        load(&model2, &path).unwrap();
+        assert!(model2.forward(&x, None).value().allclose(&before, 1e-6));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_structural_mismatch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let small = SatCnn::new(2, 8, 8, 3, &mut rng);
+        let big = SatCnn::new(4, 8, 8, 3, &mut rng);
+        let path = tmp("mismatch");
+        save(&small, &path).unwrap();
+        assert!(matches!(load(&big, &path), Err(CheckpointError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let model = SatCnn::new(1, 8, 8, 2, &mut rng);
+        assert!(matches!(
+            load(&model, "/nonexistent/ckpt.json"),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,15 @@
+//! # geotorch-core
+//!
+//! Training infrastructure for GeoTorch-RS: the evaluation-protocol glue
+//! the paper's §V experiments run on — metrics (MAE, RMSE, accuracy),
+//! a [`trainer::Trainer`] with MSE/cross-entropy losses, Adam, early
+//! stopping on the validation metric, incremental or cumulative weight
+//! updates (§III-A2), and JSON checkpointing of model parameters.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod metrics;
+pub mod trainer;
+
+pub use trainer::{TrainConfig, TrainReport, Trainer, UpdateMode};

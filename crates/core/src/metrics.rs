@@ -1,0 +1,127 @@
+//! Evaluation metrics (§V-A3 of the paper).
+
+use geotorch_tensor::Tensor;
+
+/// Mean absolute error between two same-shaped tensors.
+///
+/// # Panics
+/// If shapes differ or tensors are empty.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mae shape mismatch");
+    assert!(!pred.is_empty(), "mae on empty tensors");
+    pred.sub(target).abs().mean()
+}
+
+/// Root mean square error between two same-shaped tensors.
+pub fn rmse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "rmse shape mismatch");
+    assert!(!pred.is_empty(), "rmse on empty tensors");
+    pred.sub(target).square().mean().sqrt()
+}
+
+/// Classification accuracy of row-wise logits `[B, K]` against class
+/// indices.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.shape()[0], targets.len(), "accuracy batch mismatch");
+    if targets.is_empty() {
+        return f32::NAN;
+    }
+    let predictions = logits.argmax_rows();
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Pixel accuracy of segmentation logits against a binary mask
+/// (prediction = logit > 0).
+pub fn pixel_accuracy(logits: &Tensor, mask: &Tensor) -> f32 {
+    assert_eq!(logits.shape(), mask.shape(), "pixel_accuracy shape mismatch");
+    assert!(!logits.is_empty(), "pixel_accuracy on empty tensors");
+    let correct = logits
+        .as_slice()
+        .iter()
+        .zip(mask.as_slice())
+        .filter(|(&l, &m)| (l > 0.0) == (m > 0.5))
+        .count();
+    correct as f32 / logits.len() as f32
+}
+
+/// Intersection-over-union of a binary segmentation (logit > 0 vs mask).
+pub fn iou(logits: &Tensor, mask: &Tensor) -> f32 {
+    assert_eq!(logits.shape(), mask.shape(), "iou shape mismatch");
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    for (&l, &m) in logits.as_slice().iter().zip(mask.as_slice()) {
+        let p = l > 0.0;
+        let t = m > 0.5;
+        if p && t {
+            intersection += 1;
+        }
+        if p || t {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        intersection as f32 / union as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let t = Tensor::from_vec(vec![2.0, 2.0, 5.0], &[3]);
+        assert_eq!(mae(&p, &t), 1.0);
+        assert!((rmse(&p, &t) - (5.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(mae(&p, &p), 0.0);
+        assert_eq!(rmse(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let p = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4]);
+        let t = Tensor::from_vec(vec![1.0, 3.0, 0.5, 2.0], &[4]);
+        assert!(rmse(&p, &t) >= mae(&p, &t));
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(
+            vec![
+                2.0, 0.0, 0.0, // → 0
+                0.0, 3.0, 0.0, // → 1
+                0.0, 0.0, 1.0, // → 2
+            ],
+            &[3, 3],
+        );
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn pixel_accuracy_and_iou() {
+        let logits = Tensor::from_vec(vec![1.0, -1.0, 1.0, -1.0], &[1, 1, 2, 2]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[1, 1, 2, 2]);
+        assert_eq!(pixel_accuracy(&logits, &mask), 0.75);
+        // Predicted {0,2}, truth {0}: intersection 1, union 2.
+        assert_eq!(iou(&logits, &mask), 0.5);
+        // Perfectly empty prediction and mask.
+        let empty = Tensor::from_vec(vec![-1.0, -1.0], &[2]);
+        let none = Tensor::zeros(&[2]);
+        assert_eq!(iou(&empty, &none), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        mae(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

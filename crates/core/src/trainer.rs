@@ -1,0 +1,618 @@
+//! The training loop: batching, optimisation, validation-based early
+//! stopping, and evaluation — implementing the paper's §V-C protocol.
+
+use std::time::Instant;
+
+use geotorch_datasets::{BatchIndices, RasterDataset, StBatch, StGridDataset};
+use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};
+use geotorch_nn::loss::{bce_with_logits_loss, cross_entropy_loss, mse_loss};
+use geotorch_nn::optim::{Adam, Optimizer};
+use geotorch_nn::Var;
+use geotorch_tensor::Tensor;
+
+use crate::metrics;
+
+/// When weights update (§III-A2): after every batch (incremental) or once
+/// per epoch with accumulated gradients (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Step the optimizer after every batch (the paper's default).
+    Incremental,
+    /// Accumulate gradients across the epoch, step once.
+    Cumulative,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Stop when the validation metric has not improved for this many
+    /// epochs (`None` disables early stopping).
+    pub early_stopping_patience: Option<usize>,
+    /// Weight-update cadence.
+    pub update_mode: UpdateMode,
+    /// Clip the global gradient L2 norm to this value before each step
+    /// (`None` disables). Useful for recurrent models.
+    pub gradient_clip: Option<f32>,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            early_stopping_patience: Some(3),
+            update_mode: UpdateMode::Incremental,
+            gradient_clip: None,
+            seed: 0,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation metric per epoch (loss-like: lower is better).
+    pub val_metrics: Vec<f32>,
+    /// Epochs actually run (≤ configured when early stopping fires).
+    pub epochs_run: usize,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Mean seconds per epoch.
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epoch_seconds.is_empty() {
+            0.0
+        } else {
+            self.epoch_seconds.iter().sum::<f64>() / self.epoch_seconds.len() as f64
+        }
+    }
+
+    /// Best (minimum) validation metric.
+    pub fn best_val(&self) -> f32 {
+        self.val_metrics.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+}
+
+/// Drives training and evaluation for the three model families.
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Trainer {
+        Trainer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    // --------------------------------------------------------- grid
+
+    /// Train a grid model on chronological train/val splits of `dataset`
+    /// (which must already carry the representation the model expects).
+    pub fn fit_grid(
+        &self,
+        model: &dyn GridModel,
+        dataset: &StGridDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
+        let mut report = TrainReport {
+            train_losses: Vec::new(),
+            val_metrics: Vec::new(),
+            epochs_run: 0,
+            epoch_seconds: Vec::new(),
+        };
+        let mut best = f32::INFINITY;
+        let mut best_state: Option<Vec<Tensor>> = None;
+        let mut stale = 0usize;
+        for epoch in 0..self.config.epochs {
+            model.set_training(true);
+            let start = Instant::now();
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            let iter = BatchIndices::shuffled(
+                train_idx,
+                self.config.batch_size,
+                self.config.seed.wrapping_add(epoch as u64),
+            );
+            for batch_idx in iter {
+                let batch = dataset.batch(&batch_idx);
+                let (input, target) = grid_io(&batch);
+                let pred = model.forward(&input);
+                let loss = mse_loss(&pred, &target);
+                epoch_loss += loss.value().item();
+                batches += 1;
+                loss.backward();
+                if self.config.update_mode == UpdateMode::Incremental {
+                    if let Some(max_norm) = self.config.gradient_clip {
+                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                    }
+                    optimizer.step();
+                    optimizer.zero_grad();
+                }
+            }
+            if self.config.update_mode == UpdateMode::Cumulative {
+                if let Some(max_norm) = self.config.gradient_clip {
+                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                }
+                optimizer.step();
+                optimizer.zero_grad();
+            }
+            report.epoch_seconds.push(start.elapsed().as_secs_f64());
+            report
+                .train_losses
+                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.epochs_run = epoch + 1;
+
+            let (val_mae, _) = self.evaluate_grid(model, dataset, val_idx);
+            report.val_metrics.push(val_mae);
+            if val_mae + 1e-6 < best {
+                best = val_mae;
+                best_state = Some(model.state_dict());
+                stale = 0;
+            } else {
+                stale += 1;
+                if let Some(patience) = self.config.early_stopping_patience {
+                    if stale >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        // Restore the best-on-validation weights (the paper's protocol
+        // evaluates the converged model, not the last epoch).
+        if let Some(state) = best_state {
+            model.load_state_dict(&state);
+        }
+        report
+    }
+
+    /// `(MAE, RMSE)` of a grid model over the given samples (normalised
+    /// units).
+    pub fn evaluate_grid(
+        &self,
+        model: &dyn GridModel,
+        dataset: &StGridDataset,
+        indices: &[usize],
+    ) -> (f32, f32) {
+        model.set_training(false);
+        let mut preds = Vec::new();
+        let mut targets = Vec::new();
+        for batch_idx in BatchIndices::new(indices, self.config.batch_size) {
+            let batch = dataset.batch(&batch_idx);
+            let (input, target) = grid_io(&batch);
+            preds.push(model.forward(&input).value());
+            targets.push(target.value());
+        }
+        if preds.is_empty() {
+            return (f32::NAN, f32::NAN);
+        }
+        let p_refs: Vec<&Tensor> = preds.iter().collect();
+        let t_refs: Vec<&Tensor> = targets.iter().collect();
+        let p = Tensor::concat(&p_refs, 0);
+        let t = Tensor::concat(&t_refs, 0);
+        (metrics::mae(&p, &t), metrics::rmse(&p, &t))
+    }
+
+    // ------------------------------------------------- classification
+
+    /// Train a raster classifier with cross-entropy.
+    pub fn fit_classifier(
+        &self,
+        model: &dyn RasterClassifier,
+        dataset: &RasterDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
+        let mut report = TrainReport {
+            train_losses: Vec::new(),
+            val_metrics: Vec::new(),
+            epochs_run: 0,
+            epoch_seconds: Vec::new(),
+        };
+        let mut best = f32::INFINITY;
+        let mut best_state: Option<Vec<Tensor>> = None;
+        let mut stale = 0usize;
+        for epoch in 0..self.config.epochs {
+            model.set_training(true);
+            let start = Instant::now();
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            let iter = BatchIndices::shuffled(
+                train_idx,
+                self.config.batch_size,
+                self.config.seed.wrapping_add(epoch as u64),
+            );
+            for batch_idx in iter {
+                let batch = dataset.batch(&batch_idx);
+                let x = Var::constant(batch.x);
+                let features = batch.features.map(Var::constant);
+                let logits = model.forward(&x, features.as_ref());
+                let loss = cross_entropy_loss(&logits, &batch.labels);
+                epoch_loss += loss.value().item();
+                batches += 1;
+                loss.backward();
+                if self.config.update_mode == UpdateMode::Incremental {
+                    if let Some(max_norm) = self.config.gradient_clip {
+                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                    }
+                    optimizer.step();
+                    optimizer.zero_grad();
+                }
+            }
+            if self.config.update_mode == UpdateMode::Cumulative {
+                if let Some(max_norm) = self.config.gradient_clip {
+                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                }
+                optimizer.step();
+                optimizer.zero_grad();
+            }
+            report.epoch_seconds.push(start.elapsed().as_secs_f64());
+            report
+                .train_losses
+                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.epochs_run = epoch + 1;
+
+            // Validation metric: 1 - accuracy (lower is better).
+            let val_err = 1.0 - self.evaluate_classifier(model, dataset, val_idx);
+            report.val_metrics.push(val_err);
+            if val_err + 1e-6 < best {
+                best = val_err;
+                best_state = Some(model.state_dict());
+                stale = 0;
+            } else {
+                stale += 1;
+                if let Some(patience) = self.config.early_stopping_patience {
+                    if stale >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(state) = best_state {
+            model.load_state_dict(&state);
+        }
+        report
+    }
+
+    /// Accuracy of a classifier over the given samples.
+    pub fn evaluate_classifier(
+        &self,
+        model: &dyn RasterClassifier,
+        dataset: &RasterDataset,
+        indices: &[usize],
+    ) -> f32 {
+        model.set_training(false);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for batch_idx in BatchIndices::new(indices, self.config.batch_size) {
+            let batch = dataset.batch(&batch_idx);
+            let x = Var::constant(batch.x);
+            let features = batch.features.map(Var::constant);
+            let logits = model.forward(&x, features.as_ref()).value();
+            let acc = metrics::accuracy(&logits, &batch.labels);
+            correct += (acc * batch.labels.len() as f32).round() as usize;
+            total += batch.labels.len();
+        }
+        if total == 0 {
+            f32::NAN
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    // --------------------------------------------------- segmentation
+
+    /// Train a segmentation model with BCE-with-logits on the masks.
+    pub fn fit_segmenter(
+        &self,
+        model: &dyn Segmenter,
+        dataset: &RasterDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
+        let mut report = TrainReport {
+            train_losses: Vec::new(),
+            val_metrics: Vec::new(),
+            epochs_run: 0,
+            epoch_seconds: Vec::new(),
+        };
+        let mut best = f32::INFINITY;
+        let mut best_state: Option<Vec<Tensor>> = None;
+        let mut stale = 0usize;
+        for epoch in 0..self.config.epochs {
+            model.set_training(true);
+            let start = Instant::now();
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            let iter = BatchIndices::shuffled(
+                train_idx,
+                self.config.batch_size,
+                self.config.seed.wrapping_add(epoch as u64),
+            );
+            for batch_idx in iter {
+                let batch = dataset.batch(&batch_idx);
+                let x = Var::constant(batch.x);
+                let masks = Var::constant(batch.masks.expect("segmentation dataset"));
+                let logits = model.forward(&x);
+                let loss = bce_with_logits_loss(&logits, &masks);
+                epoch_loss += loss.value().item();
+                batches += 1;
+                loss.backward();
+                if self.config.update_mode == UpdateMode::Incremental {
+                    if let Some(max_norm) = self.config.gradient_clip {
+                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                    }
+                    optimizer.step();
+                    optimizer.zero_grad();
+                }
+            }
+            if self.config.update_mode == UpdateMode::Cumulative {
+                if let Some(max_norm) = self.config.gradient_clip {
+                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+                }
+                optimizer.step();
+                optimizer.zero_grad();
+            }
+            report.epoch_seconds.push(start.elapsed().as_secs_f64());
+            report
+                .train_losses
+                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.epochs_run = epoch + 1;
+
+            let val_err = 1.0 - self.evaluate_segmenter(model, dataset, val_idx);
+            report.val_metrics.push(val_err);
+            if val_err + 1e-6 < best {
+                best = val_err;
+                best_state = Some(model.state_dict());
+                stale = 0;
+            } else {
+                stale += 1;
+                if let Some(patience) = self.config.early_stopping_patience {
+                    if stale >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(state) = best_state {
+            model.load_state_dict(&state);
+        }
+        report
+    }
+
+    /// Pixel accuracy of a segmenter over the given samples.
+    pub fn evaluate_segmenter(
+        &self,
+        model: &dyn Segmenter,
+        dataset: &RasterDataset,
+        indices: &[usize],
+    ) -> f32 {
+        model.set_training(false);
+        let mut acc_sum = 0.0;
+        let mut batches = 0;
+        for batch_idx in BatchIndices::new(indices, self.config.batch_size) {
+            let batch = dataset.batch(&batch_idx);
+            let x = Var::constant(batch.x);
+            let masks = batch.masks.expect("segmentation dataset");
+            let logits = model.forward(&x).value();
+            acc_sum += metrics::pixel_accuracy(&logits, &masks);
+            batches += 1;
+        }
+        if batches == 0 {
+            f32::NAN
+        } else {
+            acc_sum / batches as f32
+        }
+    }
+}
+
+/// Map a dataset batch to the model input and the `[B, C, H, W]` target.
+pub fn grid_io(batch: &StBatch) -> (GridInput, Var) {
+    match batch {
+        StBatch::Basic { x, y } => (
+            GridInput::Basic(Var::constant(x.clone())),
+            Var::constant(y.clone()),
+        ),
+        StBatch::Sequential { x, y } => {
+            // Target = first predicted frame.
+            let s = y.shape();
+            let first = y.narrow(1, 0, 1).reshape(&[s[0], s[2], s[3], s[4]]);
+            (
+                GridInput::Sequence(Var::constant(x.clone())),
+                Var::constant(first),
+            )
+        }
+        StBatch::Periodical {
+            x_closeness,
+            x_period,
+            x_trend,
+            y,
+        } => (
+            GridInput::Periodical {
+                closeness: Var::constant(x_closeness.clone()),
+                period: Var::constant(x_period.clone()),
+                trend: Var::constant(x_trend.clone()),
+            },
+            Var::constant(y.clone()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_datasets::chronological_split;
+    use geotorch_models::grid::PeriodicalCnn;
+    use geotorch_models::raster::{SatCnn, UNet};
+    use rand::SeedableRng;
+
+    fn quick_config(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            learning_rate: 3e-3,
+            early_stopping_patience: None,
+            update_mode: UpdateMode::Incremental,
+            gradient_clip: None,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn grid_training_reduces_loss() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut ds = StGridDataset::bike_nyc_deepstn(10, 3);
+        ds.set_periodical_representation(2, 1, 1);
+        let model = PeriodicalCnn::new(2, (2, 1, 1), 8, &mut rng);
+        let (train, val, _) = chronological_split(ds.len());
+        let trainer = Trainer::new(quick_config(3));
+        let report = trainer.fit_grid(&model, &ds, &train[..64.min(train.len())], &val);
+        assert_eq!(report.epochs_run, 3);
+        assert!(
+            report.train_losses.last().unwrap() < report.train_losses.first().unwrap(),
+            "loss should drop: {:?}",
+            report.train_losses
+        );
+        assert!(report.mean_epoch_seconds() > 0.0);
+    }
+
+    #[test]
+    fn grid_evaluation_returns_finite_metrics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ds = StGridDataset::taxi_nyc_stdn(3, 4);
+        ds.set_periodical_representation(2, 1, 0);
+        let model = PeriodicalCnn::new(2, (2, 1, 0), 4, &mut rng);
+        let trainer = Trainer::new(quick_config(1));
+        let (mae, rmse) = trainer.evaluate_grid(&model, &ds, &[0, 1, 2, 3]);
+        assert!(mae.is_finite() && rmse.is_finite());
+        assert!(rmse >= mae * 0.99);
+    }
+
+    #[test]
+    fn classifier_learns_synthetic_classes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ds = RasterDataset::classification("tiny", 3, 8, 8, 3, 20, 5);
+        let model = SatCnn::new(3, 8, 8, 3, &mut rng);
+        let (train, val, test) = geotorch_datasets::shuffled_split(ds.len(), 7);
+        let trainer = Trainer::new(quick_config(6));
+        trainer.fit_classifier(&model, &ds, &train, &val);
+        let acc = trainer.evaluate_classifier(&model, &ds, &test);
+        assert!(acc > 0.6, "classifier should beat chance by a margin, got {acc}");
+    }
+
+    #[test]
+    fn early_stopping_halts_training() {
+        let mut ds = StGridDataset::taxi_nyc_stdn(3, 4);
+        ds.set_basic_representation(1);
+        // Untrainable learning rate 0-ish → no improvement → stop early.
+        let config = TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 1e-12,
+            early_stopping_patience: Some(2),
+            update_mode: UpdateMode::Incremental,
+            gradient_clip: None,
+            seed: 0,
+        };
+        struct Identity;
+        impl geotorch_nn::Module for Identity {
+            fn parameters(&self) -> Vec<Var> {
+                vec![Var::parameter(Tensor::zeros(&[1]))]
+            }
+        }
+        impl GridModel for Identity {
+            fn forward(&self, input: &GridInput) -> Var {
+                match input {
+                    GridInput::Basic(x) => x.clone(),
+                    _ => panic!(),
+                }
+            }
+            fn representation(&self) -> geotorch_models::RepresentationKind {
+                geotorch_models::RepresentationKind::Basic
+            }
+            fn name(&self) -> &'static str {
+                "identity"
+            }
+        }
+        let trainer = Trainer::new(config);
+        let report = trainer.fit_grid(&Identity, &ds, &[0, 1, 2, 3], &[4, 5]);
+        assert!(report.epochs_run <= 4, "expected early stop, ran {}", report.epochs_run);
+    }
+
+    #[test]
+    fn gradient_clipping_trains_stably() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let ds = {
+            let mut ds = StGridDataset::taxi_nyc_stdn(3, 11);
+            ds.set_periodical_representation(1, 1, 0);
+            ds
+        };
+        let model = PeriodicalCnn::new(2, (1, 1, 0), 4, &mut rng);
+        let config = TrainConfig {
+            gradient_clip: Some(0.5),
+            learning_rate: 5e-2, // aggressively high; clipping keeps it sane
+            ..quick_config(3)
+        };
+        let trainer = Trainer::new(config);
+        let report = trainer.fit_grid(&model, &ds, &[0, 1, 2, 3, 4, 5, 6, 7], &[8, 9]);
+        assert!(report.train_losses.iter().all(|l| l.is_finite()));
+        use geotorch_nn::Module as _;
+        for p in model.parameters() {
+            assert!(p.value().as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn cumulative_mode_trains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut ds = StGridDataset::taxi_nyc_stdn(3, 9);
+        ds.set_periodical_representation(1, 1, 0);
+        let model = PeriodicalCnn::new(2, (1, 1, 0), 4, &mut rng);
+        let config = TrainConfig {
+            update_mode: UpdateMode::Cumulative,
+            ..quick_config(2)
+        };
+        let trainer = Trainer::new(config);
+        let report = trainer.fit_grid(&model, &ds, &[0, 1, 2, 3, 4, 5, 6, 7], &[8, 9]);
+        assert_eq!(report.epochs_run, 2);
+        assert!(report.train_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn segmenter_learns_bright_clouds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let ds = RasterDataset::cloud38(32, 16, 3);
+        let model = UNet::new(4, 1, 4, &mut rng);
+        let (train, val, test) = chronological_split(ds.len());
+        let config = TrainConfig {
+            batch_size: 4,
+            learning_rate: 1e-2,
+            ..quick_config(15)
+        };
+        let trainer = Trainer::new(config);
+        trainer.fit_segmenter(&model, &ds, &train, &val);
+        let acc = trainer.evaluate_segmenter(&model, &ds, &test);
+        assert!(acc > 0.9, "segmentation accuracy too low: {acc}");
+    }
+}

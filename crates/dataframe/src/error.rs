@@ -1,0 +1,68 @@
+//! Error type for DataFrame operations.
+
+use std::fmt;
+
+/// Result alias for DataFrame operations.
+pub type DfResult<T> = Result<T, DfError>;
+
+/// Errors surfaced by the DataFrame engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfError {
+    /// Referenced column does not exist.
+    ColumnNotFound(String),
+    /// A column already exists where a new one was to be created.
+    DuplicateColumn(String),
+    /// A column had a different type than the operation requires.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Type the operation expected.
+        expected: &'static str,
+        /// Type actually found.
+        found: &'static str,
+    },
+    /// Columns within one partition (or rows across columns) disagree in length.
+    LengthMismatch(String),
+    /// Malformed WKT or geometry input.
+    InvalidGeometry(String),
+    /// Operation-specific invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            DfError::DuplicateColumn(name) => write!(f, "column already exists: {name}"),
+            DfError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column {column}: expected {expected}, found {found}"),
+            DfError::LengthMismatch(msg) => write!(f, "length mismatch: {msg}"),
+            DfError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            DfError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DfError::ColumnNotFound("lat".into()).to_string(),
+            "column not found: lat"
+        );
+        let e = DfError::TypeMismatch {
+            column: "x".into(),
+            expected: "f64",
+            found: "str",
+        };
+        assert_eq!(e.to_string(), "column x: expected f64, found str");
+    }
+}

@@ -1,0 +1,243 @@
+//! A packed STR (Sort-Tile-Recursive) R-tree over envelopes.
+//!
+//! This is the index structure behind [`crate::spatial::join_points_to_zones`],
+//! mirroring the role of Sedona's spatial index. The tree is bulk-loaded
+//! once (STR packing: sort by x, tile, sort tiles by y) and immutable
+//! afterwards, which suits the join-once workloads of the preprocessing
+//! module.
+
+use crate::geometry::{Envelope, Point};
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug)]
+struct Node {
+    envelope: Envelope,
+    /// Children node indices for inner nodes; entry indices for leaves.
+    children: Vec<usize>,
+    is_leaf: bool,
+}
+
+/// An immutable, bulk-loaded STR-packed R-tree.
+#[derive(Debug)]
+pub struct StrTree {
+    nodes: Vec<Node>,
+    entries: Vec<Envelope>,
+    root: Option<usize>,
+}
+
+impl StrTree {
+    /// Bulk-load a tree from entry envelopes. Entry indices in query
+    /// results refer to positions in this slice.
+    pub fn build(entries: &[Envelope]) -> StrTree {
+        let mut tree = StrTree {
+            nodes: Vec::new(),
+            entries: entries.to_vec(),
+            root: None,
+        };
+        if entries.is_empty() {
+            return tree;
+        }
+
+        // Leaf level: STR packing.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[a]
+                .center()
+                .x
+                .partial_cmp(&entries[b].center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = entries.len().div_ceil(NODE_CAPACITY);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = entries.len().div_ceil(slice_count.max(1));
+        let mut leaves: Vec<usize> = Vec::new();
+        for slice in order.chunks(slice_size.max(1)) {
+            let mut slice = slice.to_vec();
+            slice.sort_by(|&a, &b| {
+                entries[a]
+                    .center()
+                    .y
+                    .partial_cmp(&entries[b].center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for group in slice.chunks(NODE_CAPACITY) {
+                let envelope = group
+                    .iter()
+                    .map(|&i| entries[i])
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty group");
+                tree.nodes.push(Node {
+                    envelope,
+                    children: group.to_vec(),
+                    is_leaf: true,
+                });
+                leaves.push(tree.nodes.len() - 1);
+            }
+        }
+
+        // Build upper levels by grouping node envelopes.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for group in level.chunks(NODE_CAPACITY) {
+                let envelope = group
+                    .iter()
+                    .map(|&i| tree.nodes[i].envelope)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty group");
+                tree.nodes.push(Node {
+                    envelope,
+                    children: group.to_vec(),
+                    is_leaf: false,
+                });
+                next.push(tree.nodes.len() - 1);
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry indices whose envelope intersects `query`.
+    pub fn query_envelope(&self, query: &Envelope) -> Vec<usize> {
+        let mut hits = Vec::new();
+        let Some(root) = self.root else {
+            return hits;
+        };
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if !node.envelope.intersects(query) {
+                continue;
+            }
+            if node.is_leaf {
+                for &e in &node.children {
+                    if self.entries[e].intersects(query) {
+                        hits.push(e);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        hits
+    }
+
+    /// Entry indices whose envelope contains `point` (half-open envelope
+    /// semantics, matching [`Envelope::contains_point`]).
+    pub fn query_point(&self, point: &Point) -> Vec<usize> {
+        let mut hits = Vec::new();
+        let Some(root) = self.root else {
+            return hits;
+        };
+        let probe = Envelope::of_point(point);
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if !node.envelope.intersects(&probe) {
+                continue;
+            }
+            if node.is_leaf {
+                for &e in &node.children {
+                    if self.entries[e].contains_point(point) {
+                        hits.push(e);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_envelopes(n: usize) -> Vec<Envelope> {
+        // n×n unit cells tiling [0,n)².
+        let mut cells = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                cells.push(Envelope::new(
+                    j as f64,
+                    i as f64,
+                    (j + 1) as f64,
+                    (i + 1) as f64,
+                ));
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = StrTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.query_point(&Point::new(0.0, 0.0)).is_empty());
+        assert!(t
+            .query_envelope(&Envelope::new(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn point_query_finds_unique_cell() {
+        let cells = grid_envelopes(10);
+        let tree = StrTree::build(&cells);
+        assert_eq!(tree.len(), 100);
+        let hits = tree.query_point(&Point::new(3.5, 7.5));
+        assert_eq!(hits.len(), 1);
+        assert!(cells[hits[0]].contains_point(&Point::new(3.5, 7.5)));
+    }
+
+    #[test]
+    fn boundary_point_hits_exactly_one_cell() {
+        let tree = StrTree::build(&grid_envelopes(4));
+        // A point on an internal cell boundary belongs to one cell only.
+        let hits = tree.query_point(&Point::new(2.0, 1.5));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn envelope_query_matches_linear_scan() {
+        let cells = grid_envelopes(8);
+        let tree = StrTree::build(&cells);
+        let query = Envelope::new(1.5, 2.5, 4.5, 5.5);
+        let mut hits = tree.query_envelope(&query);
+        hits.sort_unstable();
+        let mut expected: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let tree = StrTree::build(&[Envelope::new(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(tree.query_point(&Point::new(0.5, 0.5)), vec![0]);
+        assert!(tree.query_point(&Point::new(2.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn outside_point_misses() {
+        let tree = StrTree::build(&grid_envelopes(5));
+        assert!(tree.query_point(&Point::new(-1.0, 2.0)).is_empty());
+        assert!(tree.query_point(&Point::new(5.0, 5.0)).is_empty());
+    }
+}

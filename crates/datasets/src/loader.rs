@@ -1,0 +1,180 @@
+//! Train/validation/test splitting and batch-index iteration.
+//!
+//! The paper's protocol (§V-C): the first 80% of time steps train the
+//! model, the next 10% validate, the last 10% test. Spatiotemporal
+//! datasets split chronologically; raster datasets split by shuffled
+//! sample index.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `n` sample indices chronologically into train/val/test using the
+/// paper's 80/10/10 protocol.
+pub fn chronological_split(n: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    split_at_fractions(&(0..n).collect::<Vec<_>>(), 0.8, 0.1)
+}
+
+/// Split `n` indices into train/val/test after a seeded shuffle
+/// (classification datasets).
+pub fn shuffled_split(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    split_at_fractions(&indices, 0.8, 0.1)
+}
+
+fn split_at_fractions(
+    indices: &[usize],
+    train_frac: f64,
+    val_frac: f64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = indices.len();
+    let train_end = ((n as f64) * train_frac).round() as usize;
+    let val_end = train_end + ((n as f64) * val_frac).round() as usize;
+    let val_end = val_end.min(n);
+    (
+        indices[..train_end.min(n)].to_vec(),
+        indices[train_end.min(n)..val_end].to_vec(),
+        indices[val_end..].to_vec(),
+    )
+}
+
+/// Iterator over mini-batch index slices, with optional per-epoch
+/// shuffling.
+pub struct BatchIndices {
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    drop_last: bool,
+}
+
+impl BatchIndices {
+    /// Iterate `indices` in order, `batch_size` at a time. The final
+    /// partial batch is kept.
+    pub fn new(indices: &[usize], batch_size: usize) -> BatchIndices {
+        assert!(batch_size > 0, "batch_size must be positive");
+        BatchIndices {
+            indices: indices.to_vec(),
+            batch_size,
+            cursor: 0,
+            drop_last: false,
+        }
+    }
+
+    /// Shuffle the indices with a seed before batching (one epoch's
+    /// ordering).
+    pub fn shuffled(indices: &[usize], batch_size: usize, seed: u64) -> BatchIndices {
+        let mut owned = indices.to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        owned.shuffle(&mut rng);
+        BatchIndices::new(&owned, batch_size)
+    }
+
+    /// Drop the final batch when it is smaller than `batch_size`.
+    pub fn drop_last(mut self) -> BatchIndices {
+        self.drop_last = true;
+        self
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        if self.drop_last {
+            self.indices.len() / self.batch_size
+        } else {
+            self.indices.len().div_ceil(self.batch_size)
+        }
+    }
+}
+
+impl Iterator for BatchIndices {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.indices.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        if self.drop_last && end - self.cursor < self.batch_size {
+            return None;
+        }
+        let batch = self.indices[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chronological_split_is_ordered_80_10_10() {
+        let (train, val, test) = chronological_split(100);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 10);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train[0], 0);
+        assert_eq!(val[0], 80);
+        assert_eq!(test[9], 99);
+    }
+
+    #[test]
+    fn split_covers_everything_without_overlap() {
+        for n in [1usize, 7, 10, 99, 1000] {
+            let (train, val, test) = chronological_split(n);
+            let mut all: Vec<usize> = train.iter().chain(&val).chain(&test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shuffled_split_is_deterministic_and_complete() {
+        let (t1, v1, s1) = shuffled_split(50, 9);
+        let (t2, _, _) = shuffled_split(50, 9);
+        assert_eq!(t1, t2);
+        let mut all: Vec<usize> = t1.iter().chain(&v1).chain(&s1).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+        // Shuffled: train should not simply be 0..40.
+        assert_ne!(t1, (0..t1.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_iteration_covers_all_indices() {
+        let indices: Vec<usize> = (0..10).collect();
+        let batches: Vec<Vec<usize>> = BatchIndices::new(&indices, 3).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3], vec![9]);
+        let flat: Vec<usize> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, indices);
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let indices: Vec<usize> = (0..10).collect();
+        let it = BatchIndices::new(&indices, 3).drop_last();
+        assert_eq!(it.num_batches(), 3);
+        let batches: Vec<Vec<usize>> = it.collect();
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn shuffled_batches_permute_indices() {
+        let indices: Vec<usize> = (0..100).collect();
+        let flat: Vec<usize> = BatchIndices::shuffled(&indices, 10, 3).flatten().collect();
+        assert_ne!(flat, indices);
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, indices);
+    }
+
+    #[test]
+    fn num_batches_matches_iteration() {
+        let indices: Vec<usize> = (0..11).collect();
+        let it = BatchIndices::new(&indices, 4);
+        assert_eq!(it.num_batches(), 3);
+        assert_eq!(it.count(), 3);
+    }
+}

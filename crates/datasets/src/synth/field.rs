@@ -1,0 +1,145 @@
+//! Smooth random fields (bilinear value noise).
+//!
+//! The building block for every spatial generator: a deterministic,
+//! seeded scalar field with controllable correlation length, used for
+//! demand surfaces, weather states, land textures, and cloud masks.
+
+use rand::Rng;
+
+/// A smooth scalar field over a `height × width` lattice, built by
+/// bilinearly interpolating a coarse grid of random control values.
+#[derive(Debug, Clone)]
+pub struct SmoothField {
+    values: Vec<f32>,
+    height: usize,
+    width: usize,
+}
+
+impl SmoothField {
+    /// Generate a field in `[0, 1]` whose features have a spatial scale
+    /// of roughly `cell` pixels.
+    pub fn generate<R: Rng>(height: usize, width: usize, cell: usize, rng: &mut R) -> SmoothField {
+        assert!(height > 0 && width > 0, "field dims must be positive");
+        let cell = cell.max(1);
+        let ch = height.div_ceil(cell) + 1;
+        let cw = width.div_ceil(cell) + 1;
+        let control: Vec<f32> = (0..ch * cw).map(|_| rng.gen::<f32>()).collect();
+        let mut values = vec![0.0f32; height * width];
+        for r in 0..height {
+            let fy = r as f32 / cell as f32;
+            let (cy, ty) = (fy as usize, fy.fract());
+            for c in 0..width {
+                let fx = c as f32 / cell as f32;
+                let (cx, tx) = (fx as usize, fx.fract());
+                let idx = |y: usize, x: usize| control[y.min(ch - 1) * cw + x.min(cw - 1)];
+                let top = idx(cy, cx) * (1.0 - tx) + idx(cy, cx + 1) * tx;
+                let bottom = idx(cy + 1, cx) * (1.0 - tx) + idx(cy + 1, cx + 1) * tx;
+                values[r * width + c] = top * (1.0 - ty) + bottom * ty;
+            }
+        }
+        SmoothField {
+            values,
+            height,
+            width,
+        }
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.values[row * self.width + col]
+    }
+
+    /// The flat buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Map every value through `f` in place, returning self for chaining.
+    pub fn map(mut self, f: impl Fn(f32) -> f32) -> SmoothField {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+        self
+    }
+
+    /// Convex blend: `keep · a + (1 - keep) · b` (fields must match in
+    /// shape).
+    pub fn blend(a: &SmoothField, b: &SmoothField, keep: f32) -> SmoothField {
+        assert_eq!(
+            (a.height, a.width),
+            (b.height, b.width),
+            "blend of differently sized fields"
+        );
+        SmoothField {
+            values: a
+                .values
+                .iter()
+                .zip(&b.values)
+                .map(|(&x, &y)| keep * x + (1.0 - keep) * y)
+                .collect(),
+            height: a.height,
+            width: a.width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SmoothField::generate(16, 16, 4, &mut rng(1));
+        let b = SmoothField::generate(16, 16, 4, &mut rng(1));
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = SmoothField::generate(16, 16, 4, &mut rng(2));
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let f = SmoothField::generate(20, 30, 5, &mut rng(3));
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!((f.height(), f.width()), (20, 30));
+    }
+
+    #[test]
+    fn field_is_smooth_relative_to_noise() {
+        // Neighbouring pixels should differ far less than random pairs.
+        let f = SmoothField::generate(32, 32, 8, &mut rng(4));
+        let mut neighbour_diff = 0.0;
+        let mut count = 0;
+        for r in 0..32 {
+            for c in 0..31 {
+                neighbour_diff += (f.at(r, c) - f.at(r, c + 1)).abs();
+                count += 1;
+            }
+        }
+        neighbour_diff /= count as f32;
+        assert!(
+            neighbour_diff < 0.1,
+            "neighbour diff {neighbour_diff} too large for cell=8"
+        );
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let f = SmoothField::generate(4, 4, 2, &mut rng(5)).map(|v| v * 2.0 + 1.0);
+        assert!(f.as_slice().iter().all(|&v| (1.0..=3.0).contains(&v)));
+    }
+}

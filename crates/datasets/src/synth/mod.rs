@@ -1,0 +1,11 @@
+//! Seeded synthetic data generators.
+
+pub mod field;
+pub mod scene;
+pub mod trips;
+pub mod weather;
+
+pub use field::SmoothField;
+pub use scene::{RasterScene, SceneKind};
+pub use trips::{TripGenerator, TripRecord};
+pub use weather::{WeatherField, WeatherVariable};

@@ -1,0 +1,224 @@
+//! DeepSTN+ (Lin et al., 2019): the ST-ResNet lineage extended with
+//! ConvPlus blocks whose global (fully connected) pathway captures
+//! long-range spatial dependence beyond a CNN's receptive field.
+//!
+//! This implementation keeps the lineage explicit: an ST-ResNet core
+//! (three residual branches with parametric fusion) produces the base
+//! prediction, and a ConvPlus correction stage over the early-fused lag
+//! stack adds the globally-informed adjustment. The correction is
+//! initialised near zero, so optimisation starts from the well-behaved
+//! ST-ResNet regime and the Plus pathway learns the residual — mirroring
+//! how the original paper grafts ResPlus units onto the residual design.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, Linear};
+use geotorch_nn::{Layer, Module, Var};
+
+use super::st_resnet::StResNet;
+use crate::{GridInput, GridModel, RepresentationKind};
+
+/// ConvPlus block: a local 3×3 convolution plus a global pathway that
+/// flattens the map through a low-rank bottleneck (`in·H·W → r → out·H·W`)
+/// and redistributes it spatially. The bottleneck keeps the global
+/// pathway's parameter count proportional to `H·W`, as the original
+/// DeepSTN+ does by pooling before its fully connected stage.
+struct ConvPlus {
+    conv: Conv2d,
+    squeeze: Linear,
+    expand: Linear,
+    out_channels: usize,
+    h: usize,
+    w: usize,
+}
+
+impl ConvPlus {
+    const BOTTLENECK: usize = 16;
+
+    fn new<R: Rng>(in_c: usize, out_c: usize, h: usize, w: usize, rng: &mut R) -> Self {
+        let expand = Linear::new(Self::BOTTLENECK, out_c * h * w, rng);
+        // Fan-in init of the expand layer (fan_in = 16) produces global
+        // activations an order of magnitude above the local conv output,
+        // which drowns the local pathway early in training. Rescale so
+        // both pathways start balanced.
+        for p in expand.parameters() {
+            p.assign(p.value().mul_scalar(0.1));
+        }
+        ConvPlus {
+            conv: Conv2d::same(in_c, out_c, 3, rng),
+            squeeze: Linear::new(in_c * h * w, Self::BOTTLENECK, rng),
+            expand,
+            out_channels: out_c,
+            h,
+            w,
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        let b = x.shape()[0];
+        let local = self.conv.forward(x);
+        let latent = self.squeeze.forward(&x.flatten_batch()).leaky_relu(0.1);
+        let global = self
+            .expand
+            .forward(&latent)
+            .reshape(&[b, self.out_channels, self.h, self.w]);
+        local.add(&global).leaky_relu(0.1)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv.parameters();
+        p.extend(self.squeeze.parameters());
+        p.extend(self.expand.parameters());
+        p
+    }
+}
+
+/// DeepSTN+ for a fixed grid geometry: an ST-ResNet core plus a ConvPlus
+/// global-correction stage over the early-fused lag stack.
+pub struct DeepStnPlus {
+    core: StResNet,
+    plus: ConvPlus,
+    correction: Conv2d,
+    channels: usize,
+}
+
+impl DeepStnPlus {
+    /// `lens = (len_closeness, len_period, len_trend)`; `(h, w)` grid
+    /// shape; `hidden` ConvPlus / core width.
+    pub fn new<R: Rng>(
+        channels: usize,
+        lens: (usize, usize, usize),
+        h: usize,
+        w: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let in_channels = channels * (lens.0 + lens.1 + lens.2);
+        assert!(in_channels > 0, "DeepStnPlus needs at least one lag frame");
+        let correction = Conv2d::same(hidden, channels, 3, rng);
+        // Start the correction near zero: the model begins as ST-ResNet
+        // and learns the globally-informed residual on top.
+        for p in correction.parameters() {
+            p.assign(p.value().mul_scalar(0.1));
+        }
+        DeepStnPlus {
+            core: StResNet::new(channels, lens, h, w, hidden, 2, rng),
+            plus: ConvPlus::new(in_channels, hidden, h, w, rng),
+            correction,
+            channels,
+        }
+    }
+
+    /// Per-frame channel count of the prediction.
+    pub fn out_channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Module for DeepStnPlus {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.core.parameters();
+        p.extend(self.plus.parameters());
+        p.extend(self.correction.parameters());
+        p
+    }
+}
+
+impl GridModel for DeepStnPlus {
+    fn forward(&self, input: &GridInput) -> Var {
+        let GridInput::Periodical {
+            closeness,
+            period,
+            trend,
+        } = input
+        else {
+            panic!("DeepStnPlus expects periodical input");
+        };
+        let base = self.core.forward(input);
+        let fused = Var::concat(&[closeness, period, trend], 1);
+        let corr = self.correction.forward(&self.plus.forward(&fused));
+        base.add(&corr)
+    }
+
+    fn representation(&self) -> RepresentationKind {
+        RepresentationKind::Periodical
+    }
+
+    fn name(&self) -> &'static str {
+        "DeepSTN+"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn input(b: usize, c: usize, lens: (usize, usize, usize), h: usize, w: usize) -> GridInput {
+        GridInput::Periodical {
+            closeness: Var::constant(Tensor::rand_uniform(
+                &[b, lens.0 * c, h, w],
+                0.0,
+                1.0,
+                &mut rand::rngs::StdRng::seed_from_u64(5),
+            )),
+            period: Var::constant(Tensor::ones(&[b, lens.1 * c, h, w])),
+            trend: Var::constant(Tensor::ones(&[b, lens.2 * c, h, w])),
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = DeepStnPlus::new(2, (3, 2, 1), 6, 8, 8, &mut rng);
+        let y = m.forward(&input(2, 2, (3, 2, 1), 6, 8));
+        assert_eq!(y.shape(), vec![2, 2, 6, 8]);
+        assert_eq!(m.out_channels(), 2);
+    }
+
+    #[test]
+    fn strictly_extends_st_resnet_capacity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dsp = DeepStnPlus::new(2, (3, 2, 1), 6, 8, 8, &mut rng);
+        let core = StResNet::new(2, (3, 2, 1), 6, 8, 8, 2, &mut rng);
+        assert!(dsp.num_parameters() > core.num_parameters());
+    }
+
+    #[test]
+    fn global_pathway_gives_full_receptive_field() {
+        // Perturbing a far-away input pixel must change the output at a
+        // fixed pixel in one forward pass — impossible for the local conv
+        // stack alone on a large grid, possible through ConvPlus.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = DeepStnPlus::new(1, (1, 1, 1), 24, 24, 4, &mut rng);
+        let zeros = Tensor::zeros(&[1, 1, 24, 24]);
+        let base = Tensor::zeros(&[1, 1, 24, 24]);
+        let mut perturbed = base.clone();
+        perturbed.set(&[0, 0, 23, 23], 1.0);
+        let out = |x: Tensor| {
+            m.forward(&GridInput::Periodical {
+                closeness: Var::constant(x),
+                period: Var::constant(zeros.clone()),
+                trend: Var::constant(zeros.clone()),
+            })
+            .value()
+        };
+        let a = out(base);
+        let b = out(perturbed);
+        let delta = (a.at(&[0, 0, 0, 0]) - b.at(&[0, 0, 0, 0])).abs();
+        assert!(delta > 0.0, "corner perturbation must reach the opposite corner");
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = DeepStnPlus::new(1, (2, 1, 1), 4, 4, 4, &mut rng);
+        m.forward(&input(2, 1, (2, 1, 1), 4, 4))
+            .square()
+            .mean_all()
+            .backward();
+        let missing = m.parameters().iter().filter(|p| p.grad().is_none()).count();
+        assert_eq!(missing, 0, "every DeepSTN+ parameter must receive a gradient");
+    }
+}

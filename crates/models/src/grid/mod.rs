@@ -1,0 +1,11 @@
+//! Grid-based spatiotemporal models.
+
+mod conv_lstm;
+mod deepstn;
+mod periodical_cnn;
+mod st_resnet;
+
+pub use conv_lstm::ConvLstm;
+pub use deepstn::DeepStnPlus;
+pub use periodical_cnn::PeriodicalCnn;
+pub use st_resnet::StResNet;

@@ -1,0 +1,123 @@
+//! Periodical CNN: the paper's baseline grid model — a plain CNN over the
+//! channel-stacked closeness/period/trend features.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, Relu, Sequential};
+use geotorch_nn::{Layer, Module, Var};
+
+use crate::{GridInput, GridModel, RepresentationKind};
+
+/// A convolutional stack over concatenated periodical features, with no
+/// residual learning or per-branch modelling — the weakest of the four
+/// grid models in the paper's Tables IV and V.
+pub struct PeriodicalCnn {
+    net: Sequential,
+    out_channels: usize,
+}
+
+impl PeriodicalCnn {
+    /// `lens = (len_closeness, len_period, len_trend)`, `channels` is the
+    /// per-frame channel count `C`; predicts `[B, C, H, W]`.
+    pub fn new<R: Rng>(
+        channels: usize,
+        lens: (usize, usize, usize),
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let in_channels = channels * (lens.0 + lens.1 + lens.2);
+        assert!(in_channels > 0, "PeriodicalCnn needs at least one lag frame");
+        // A deliberately *basic* network — the paper's weakest baseline:
+        // two plain convolutions, no residual learning, no fusion.
+        let net = Sequential::new()
+            .add(Conv2d::same(in_channels, hidden, 3, rng))
+            .add(Relu)
+            .add(Conv2d::same(hidden, channels, 3, rng));
+        PeriodicalCnn {
+            net,
+            out_channels: channels,
+        }
+    }
+
+    /// Per-frame channel count of the prediction.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Module for PeriodicalCnn {
+    fn parameters(&self) -> Vec<Var> {
+        self.net.parameters()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.net.set_training(training);
+    }
+}
+
+impl GridModel for PeriodicalCnn {
+    fn forward(&self, input: &GridInput) -> Var {
+        let GridInput::Periodical {
+            closeness,
+            period,
+            trend,
+        } = input
+        else {
+            panic!("PeriodicalCnn expects periodical input");
+        };
+        let stacked = Var::concat(&[closeness, period, trend], 1);
+        self.net.forward(&stacked)
+    }
+
+    fn representation(&self) -> RepresentationKind {
+        RepresentationKind::Periodical
+    }
+
+    fn name(&self) -> &'static str {
+        "PeriodicalCNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn input(b: usize, c: usize, lens: (usize, usize, usize), h: usize, w: usize) -> GridInput {
+        GridInput::Periodical {
+            closeness: Var::constant(Tensor::ones(&[b, lens.0 * c, h, w])),
+            period: Var::constant(Tensor::ones(&[b, lens.1 * c, h, w])),
+            trend: Var::constant(Tensor::ones(&[b, lens.2 * c, h, w])),
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = PeriodicalCnn::new(2, (3, 2, 1), 8, &mut rng);
+        let y = m.forward(&input(4, 2, (3, 2, 1), 10, 12));
+        assert_eq!(y.shape(), vec![4, 2, 10, 12]);
+        assert_eq!(m.out_channels(), 2);
+        assert!(m.num_parameters() > 0);
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = PeriodicalCnn::new(1, (2, 1, 1), 4, &mut rng);
+        let y = m.forward(&input(1, 1, (2, 1, 1), 6, 6));
+        y.square().mean_all().backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some(), "parameter missing gradient");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects periodical input")]
+    fn rejects_wrong_representation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = PeriodicalCnn::new(1, (1, 1, 1), 4, &mut rng);
+        m.forward(&GridInput::Basic(Var::constant(Tensor::zeros(&[1, 1, 4, 4]))));
+    }
+}

@@ -1,0 +1,206 @@
+//! ST-ResNet (Zhang et al., 2017): three residual-CNN branches over
+//! closeness, period, and trend features with learned parametric fusion.
+
+use rand::Rng;
+
+use geotorch_nn::layers::Conv2d;
+use geotorch_nn::{Layer, Module, Var};
+
+use crate::{GridInput, GridModel, RepresentationKind};
+
+/// One residual unit: `x + conv(relu(conv(relu(x))))`.
+pub(crate) struct ResidualUnit {
+    conv1: Conv2d,
+    conv2: Conv2d,
+}
+
+impl ResidualUnit {
+    fn new<R: Rng>(channels: usize, rng: &mut R) -> Self {
+        ResidualUnit {
+            conv1: Conv2d::same(channels, channels, 3, rng),
+            conv2: Conv2d::same(channels, channels, 3, rng),
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        let inner = self.conv2.forward(&self.conv1.forward(&x.relu()).relu());
+        x.add(&inner)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv1.parameters();
+        p.extend(self.conv2.parameters());
+        p
+    }
+}
+
+/// One branch: input conv → residual units → output conv to `C` channels.
+pub(crate) struct Branch {
+    conv_in: Conv2d,
+    units: Vec<ResidualUnit>,
+    conv_out: Conv2d,
+}
+
+impl Branch {
+    fn new<R: Rng>(in_channels: usize, hidden: usize, out_channels: usize, depth: usize, rng: &mut R) -> Self {
+        Branch {
+            conv_in: Conv2d::same(in_channels, hidden, 3, rng),
+            units: (0..depth).map(|_| ResidualUnit::new(hidden, rng)).collect(),
+            conv_out: Conv2d::same(hidden, out_channels, 3, rng),
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        let mut h = self.conv_in.forward(x);
+        for unit in &self.units {
+            h = unit.forward(&h);
+        }
+        self.conv_out.forward(&h.relu())
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv_in.parameters();
+        for u in &self.units {
+            p.extend(u.parameters());
+        }
+        p.extend(self.conv_out.parameters());
+        p
+    }
+}
+
+/// ST-ResNet with parametric elementwise fusion. Constructed for a fixed
+/// grid geometry (the fusion weights have shape `[C, H, W]`, as in the
+/// original). `external_dim = None` in the paper's Listing 5 corresponds
+/// to this implementation, which has no external component.
+pub struct StResNet {
+    closeness: Branch,
+    period: Branch,
+    trend: Branch,
+    w_closeness: Var,
+    w_period: Var,
+    w_trend: Var,
+    channels: usize,
+}
+
+impl StResNet {
+    /// `lens = (len_closeness, len_period, len_trend)`; `(h, w)` is the
+    /// grid shape; `depth` residual units per branch.
+    pub fn new<R: Rng>(
+        channels: usize,
+        lens: (usize, usize, usize),
+        h: usize,
+        w: usize,
+        hidden: usize,
+        depth: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fusion = |rng: &mut R| {
+            Var::parameter(geotorch_tensor::Tensor::rand_uniform(
+                &[channels, h, w],
+                0.5,
+                1.0,
+                rng,
+            ))
+        };
+        StResNet {
+            closeness: Branch::new(channels * lens.0.max(1), hidden, channels, depth, rng),
+            period: Branch::new(channels * lens.1.max(1), hidden, channels, depth, rng),
+            trend: Branch::new(channels * lens.2.max(1), hidden, channels, depth, rng),
+            w_closeness: fusion(rng),
+            w_period: fusion(rng),
+            w_trend: fusion(rng),
+            channels,
+        }
+    }
+
+    /// Per-frame channel count of the prediction.
+    pub fn out_channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Module for StResNet {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.closeness.parameters();
+        p.extend(self.period.parameters());
+        p.extend(self.trend.parameters());
+        p.push(self.w_closeness.clone());
+        p.push(self.w_period.clone());
+        p.push(self.w_trend.clone());
+        p
+    }
+}
+
+impl GridModel for StResNet {
+    fn forward(&self, input: &GridInput) -> Var {
+        let GridInput::Periodical {
+            closeness,
+            period,
+            trend,
+        } = input
+        else {
+            panic!("StResNet expects periodical input");
+        };
+        let c = self.closeness.forward(closeness).mul(&self.w_closeness);
+        let p = self.period.forward(period).mul(&self.w_period);
+        let t = self.trend.forward(trend).mul(&self.w_trend);
+        c.add(&p).add(&t)
+    }
+
+    fn representation(&self) -> RepresentationKind {
+        RepresentationKind::Periodical
+    }
+
+    fn name(&self) -> &'static str {
+        "ST-ResNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn input(b: usize, c: usize, lens: (usize, usize, usize), h: usize, w: usize) -> GridInput {
+        GridInput::Periodical {
+            closeness: Var::constant(Tensor::ones(&[b, lens.0 * c, h, w])),
+            period: Var::constant(Tensor::ones(&[b, lens.1 * c, h, w])),
+            trend: Var::constant(Tensor::ones(&[b, lens.2 * c, h, w])),
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = StResNet::new(2, (3, 2, 1), 8, 6, 8, 2, &mut rng);
+        let y = m.forward(&input(2, 2, (3, 2, 1), 8, 6));
+        assert_eq!(y.shape(), vec![2, 2, 8, 6]);
+    }
+
+    #[test]
+    fn fusion_weights_are_trainable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = StResNet::new(1, (1, 1, 1), 4, 4, 4, 1, &mut rng);
+        let y = m.forward(&input(1, 1, (1, 1, 1), 4, 4));
+        y.square().mean_all().backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some(), "parameter missing gradient");
+        }
+        // Fusion weights included: 3 branch params + 3 weights counted.
+        assert!(m.parameters().len() >= 3);
+    }
+
+    #[test]
+    fn residual_units_propagate_identity_at_zero_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let unit = ResidualUnit::new(2, &mut rng);
+        // Zero the convolution weights: output must equal input.
+        for p in unit.parameters() {
+            p.assign(geotorch_tensor::Tensor::zeros(&p.shape()));
+        }
+        let x = Var::constant(Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng));
+        let y = unit.forward(&x);
+        assert!(y.value().allclose(&x.value(), 1e-6));
+    }
+}

@@ -1,0 +1,95 @@
+//! # geotorch-models
+//!
+//! State-of-the-art neural-network models for raster imagery and
+//! grid-based spatiotemporal prediction — the `geotorchai.models` module
+//! of the paper (§III-A2).
+//!
+//! Grid-based spatiotemporal models (all predict the next frame
+//! `[B, C, H, W]`):
+//!
+//! | Model | Representation | Paper reference |
+//! |---|---|---|
+//! | [`grid::PeriodicalCnn`] | periodical | baseline CNN over stacked lags |
+//! | [`grid::ConvLstm`] | sequential | Shi et al. 2015 |
+//! | [`grid::StResNet`] | periodical | Zhang et al. 2017 |
+//! | [`grid::DeepStnPlus`] | periodical | Lin et al. 2019 |
+//!
+//! Raster models:
+//!
+//! | Model | Task | Paper reference |
+//! |---|---|---|
+//! | [`raster::SatCnn`] | classification | Zhong et al. 2017 |
+//! | [`raster::DeepSat`] | classification (features) | Basu et al. 2015 |
+//! | [`raster::DeepSatV2`] | classification (fusion) | Liu et al. 2019 |
+//! | [`raster::Fcn`] | segmentation | Shelhamer et al. 2017 |
+//! | [`raster::UNet`] | segmentation | Ronneberger et al. 2015 |
+//! | [`raster::UNetPlusPlus`] | segmentation | Zhou et al. 2018 |
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod raster;
+
+use geotorch_nn::{Module, Var};
+
+/// Input to a grid-based spatiotemporal model, mirroring the dataset
+/// representations.
+#[derive(Debug, Clone)]
+pub enum GridInput {
+    /// A single frame `[B, C, H, W]` (basic representation).
+    Basic(Var),
+    /// A frame sequence `[B, T, C, H, W]` (sequential representation).
+    Sequence(Var),
+    /// Channel-stacked lag features (periodical representation), each
+    /// `[B, len*C, H, W]`.
+    Periodical {
+        /// Most recent frames.
+        closeness: Var,
+        /// Daily-lagged frames.
+        period: Var,
+        /// Weekly-lagged frames.
+        trend: Var,
+    },
+}
+
+/// Which representation a model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepresentationKind {
+    /// Basic (single-frame) input.
+    Basic,
+    /// Sequential input.
+    Sequential,
+    /// Periodical (closeness/period/trend) input.
+    Periodical,
+}
+
+/// A spatiotemporal predictor over grid tensors.
+pub trait GridModel: Module {
+    /// Predict the next frame `[B, C, H, W]`.
+    fn forward(&self, input: &GridInput) -> Var;
+
+    /// The representation this model expects.
+    fn representation(&self) -> RepresentationKind;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A raster image classifier (logits `[B, num_classes]`), optionally
+/// fusing handcrafted features `[B, F]`.
+pub trait RasterClassifier: Module {
+    /// Compute class logits.
+    fn forward(&self, images: &Var, features: Option<&Var>) -> Var;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A raster segmentation model (per-pixel logits `[B, 1, H, W]`).
+pub trait Segmenter: Module {
+    /// Compute per-pixel logits.
+    fn forward(&self, images: &Var) -> Var;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}

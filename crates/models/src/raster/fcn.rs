@@ -1,0 +1,154 @@
+//! Fully Convolutional Network, FCN-8s style (Shelhamer et al., 2017):
+//! a downsampling conv backbone whose per-stage score maps are fused
+//! through learned transposed-convolution upsampling, recovering detail
+//! that a single ×8 upsample would lose.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, ConvTranspose2d, MaxPool2d, Relu, Sequential};
+use geotorch_nn::{Layer, Module, Var};
+
+use crate::Segmenter;
+
+/// One backbone stage: conv → ReLU → 2× max-pool.
+struct Stage {
+    net: Sequential,
+}
+
+impl Stage {
+    fn new<R: Rng>(in_c: usize, out_c: usize, rng: &mut R) -> Self {
+        Stage {
+            net: Sequential::new()
+                .add(Conv2d::same(in_c, out_c, 3, rng))
+                .add(Relu)
+                .add(MaxPool2d::new(2, 2)),
+        }
+    }
+}
+
+/// FCN-8s: three pooling stages (to 1/2, 1/4, 1/8 resolution), per-stage
+/// 1×1 score layers, and stepwise ×2 learned upsampling with skip
+/// fusion back to full resolution.
+pub struct Fcn {
+    stage1: Stage,
+    stage2: Stage,
+    stage3: Stage,
+    score1: Conv2d,
+    score2: Conv2d,
+    score3: Conv2d,
+    up3: ConvTranspose2d,
+    up2: ConvTranspose2d,
+    up1: ConvTranspose2d,
+}
+
+impl Fcn {
+    /// Build for `in_channels` inputs and `out_channels` per-pixel logit
+    /// maps (1 for binary cloud masks). Input extent must be divisible by
+    /// 8.
+    pub fn new<R: Rng>(in_channels: usize, out_channels: usize, base: usize, rng: &mut R) -> Self {
+        Fcn {
+            stage1: Stage::new(in_channels, base, rng),
+            stage2: Stage::new(base, base * 2, rng),
+            stage3: Stage::new(base * 2, base * 4, rng),
+            score1: Conv2d::new(base, out_channels, 1, 1, 0, rng),
+            score2: Conv2d::new(base * 2, out_channels, 1, 1, 0, rng),
+            score3: Conv2d::new(base * 4, out_channels, 1, 1, 0, rng),
+            up3: ConvTranspose2d::new(out_channels, out_channels, 2, 2, 0, rng),
+            up2: ConvTranspose2d::new(out_channels, out_channels, 2, 2, 0, rng),
+            up1: ConvTranspose2d::new(out_channels, out_channels, 2, 2, 0, rng),
+        }
+    }
+}
+
+impl Module for Fcn {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.stage1.net.parameters();
+        p.extend(self.stage2.net.parameters());
+        p.extend(self.stage3.net.parameters());
+        p.extend(self.score1.parameters());
+        p.extend(self.score2.parameters());
+        p.extend(self.score3.parameters());
+        p.extend(self.up3.parameters());
+        p.extend(self.up2.parameters());
+        p.extend(self.up1.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.stage1.net.set_training(training);
+        self.stage2.net.set_training(training);
+        self.stage3.net.set_training(training);
+    }
+}
+
+impl Segmenter for Fcn {
+    fn forward(&self, images: &Var) -> Var {
+        let shape = images.shape();
+        assert!(
+            shape[2].is_multiple_of(8) && shape[3].is_multiple_of(8),
+            "Fcn input extent must be divisible by 8, got {}x{}",
+            shape[2],
+            shape[3]
+        );
+        let s1 = self.stage1.net.forward(images); // 1/2
+        let s2 = self.stage2.net.forward(&s1); // 1/4
+        let s3 = self.stage3.net.forward(&s2); // 1/8
+        // Fuse scores coarse → fine, FCN-8s style.
+        let fused2 = self.up3.forward(&self.score3.forward(&s3)).add(&self.score2.forward(&s2));
+        let fused1 = self.up2.forward(&fused2).add(&self.score1.forward(&s1));
+        self.up1.forward(&fused1)
+    }
+
+    fn name(&self) -> &'static str {
+        "FCN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_restores_resolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = Fcn::new(4, 1, 4, &mut rng);
+        let x = Var::constant(Tensor::ones(&[2, 4, 32, 32]));
+        assert_eq!(m.forward(&x).shape(), vec![2, 1, 32, 32]);
+    }
+
+    #[test]
+    fn skip_fusion_preserves_fine_detail_pathway() {
+        // Zero the deepest stage's parameters: the shallow skips must
+        // still carry spatial variation to the output.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = Fcn::new(2, 1, 2, &mut rng);
+        for p in m.stage3.net.parameters().iter().chain(m.score3.parameters().iter()) {
+            p.assign(Tensor::zeros(&p.shape()));
+        }
+        let x = Var::constant(Tensor::rand_uniform(&[1, 2, 16, 16], 0.0, 1.0, &mut rng));
+        let y = m.forward(&x).value();
+        assert!(y.variance() > 0.0, "skips must keep variation alive");
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = Fcn::new(2, 1, 2, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 2, 16, 16], 0.0, 1.0, &mut rng));
+        let y = Var::constant(Tensor::zeros(&[1, 1, 16, 16]));
+        geotorch_nn::loss::bce_with_logits_loss(&m.forward(&x), &y).backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 8")]
+    fn rejects_misaligned_extent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = Fcn::new(1, 1, 2, &mut rng);
+        m.forward(&Var::constant(Tensor::zeros(&[1, 1, 20, 20])));
+    }
+}

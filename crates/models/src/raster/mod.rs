@@ -1,0 +1,13 @@
+//! Raster imagery models.
+
+mod deepsat;
+mod fcn;
+mod sat_cnn;
+mod unet;
+mod unet_pp;
+
+pub use deepsat::{DeepSat, DeepSatV2};
+pub use fcn::Fcn;
+pub use sat_cnn::SatCnn;
+pub use unet::UNet;
+pub use unet_pp::UNetPlusPlus;

@@ -1,0 +1,107 @@
+//! SatCNN (Zhong et al., 2017): an "agile" convolutional network for
+//! satellite image classification.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, Linear, MaxPool2d, Relu, Sequential};
+use geotorch_nn::{Layer, Module, Var};
+
+use crate::RasterClassifier;
+
+/// Conv-pool × 2 → conv → flatten → two fully connected layers.
+pub struct SatCnn {
+    features: Sequential,
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl SatCnn {
+    /// Build for `in_channels × height × width` inputs and `num_classes`
+    /// outputs.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            height >= 8 && width >= 8,
+            "SatCnn needs inputs of at least 8x8, got {height}x{width}"
+        );
+        let features = Sequential::new()
+            .add(Conv2d::same(in_channels, 16, 3, rng))
+            .add(Relu)
+            .add(MaxPool2d::new(2, 2))
+            .add(Conv2d::same(16, 32, 3, rng))
+            .add(Relu)
+            .add(MaxPool2d::new(2, 2))
+            .add(Conv2d::same(32, 32, 3, rng))
+            .add(Relu);
+        let (fh, fw) = (height / 4, width / 4);
+        SatCnn {
+            features,
+            fc1: Linear::new(32 * fh * fw, 128, rng),
+            fc2: Linear::new(128, num_classes, rng),
+        }
+    }
+}
+
+impl Module for SatCnn {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.features.parameters();
+        p.extend(self.fc1.parameters());
+        p.extend(self.fc2.parameters());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.features.set_training(training);
+    }
+}
+
+impl RasterClassifier for SatCnn {
+    fn forward(&self, images: &Var, _features: Option<&Var>) -> Var {
+        let h = self.features.forward(images).flatten_batch();
+        self.fc2.forward(&self.fc1.forward(&h).relu())
+    }
+
+    fn name(&self) -> &'static str {
+        "SatCNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = SatCnn::new(4, 28, 28, 6, &mut rng);
+        let x = Var::constant(Tensor::ones(&[3, 4, 28, 28]));
+        let y = m.forward(&x, None);
+        assert_eq!(y.shape(), vec![3, 6]);
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = SatCnn::new(2, 16, 16, 3, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[2, 2, 16, 16], 0.0, 1.0, &mut rng));
+        let logits = m.forward(&x, None);
+        geotorch_nn::loss::cross_entropy_loss(&logits, &[0, 2]).backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn rejects_tiny_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        SatCnn::new(1, 4, 4, 2, &mut rng);
+    }
+}

@@ -1,0 +1,150 @@
+//! U-Net (Ronneberger et al., 2015): encoder-decoder segmentation with
+//! skip connections.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, MaxPool2d, Relu, Sequential, Upsample2d};
+use geotorch_nn::{Layer, Module, Var};
+
+use crate::Segmenter;
+
+/// Double 3×3 convolution block.
+pub(crate) struct DoubleConv {
+    net: Sequential,
+}
+
+impl DoubleConv {
+    pub(crate) fn new<R: Rng>(in_c: usize, out_c: usize, rng: &mut R) -> Self {
+        DoubleConv {
+            net: Sequential::new()
+                .add(Conv2d::same(in_c, out_c, 3, rng))
+                .add(Relu)
+                .add(Conv2d::same(out_c, out_c, 3, rng))
+                .add(Relu),
+        }
+    }
+
+    pub(crate) fn forward(&self, x: &Var) -> Var {
+        self.net.forward(x)
+    }
+
+    pub(crate) fn parameters(&self) -> Vec<Var> {
+        self.net.parameters()
+    }
+}
+
+/// Two-level U-Net: enc1 → enc2 → bottleneck → dec2 (skip enc2) → dec1
+/// (skip enc1) → 1×1 head. Input extent must be divisible by 4.
+pub struct UNet {
+    enc1: DoubleConv,
+    enc2: DoubleConv,
+    bottleneck: DoubleConv,
+    dec2: DoubleConv,
+    dec1: DoubleConv,
+    pool: MaxPool2d,
+    up: Upsample2d,
+    head: Conv2d,
+}
+
+impl UNet {
+    /// Build for `in_channels` inputs, `out_channels` logit maps, `base`
+    /// encoder width.
+    pub fn new<R: Rng>(in_channels: usize, out_channels: usize, base: usize, rng: &mut R) -> Self {
+        UNet {
+            enc1: DoubleConv::new(in_channels, base, rng),
+            enc2: DoubleConv::new(base, base * 2, rng),
+            bottleneck: DoubleConv::new(base * 2, base * 4, rng),
+            dec2: DoubleConv::new(base * 4 + base * 2, base * 2, rng),
+            dec1: DoubleConv::new(base * 2 + base, base, rng),
+            pool: MaxPool2d::new(2, 2),
+            up: Upsample2d::new(2),
+            head: Conv2d::new(base, out_channels, 1, 1, 0, rng),
+        }
+    }
+}
+
+impl Module for UNet {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.enc1.parameters();
+        p.extend(self.enc2.parameters());
+        p.extend(self.bottleneck.parameters());
+        p.extend(self.dec2.parameters());
+        p.extend(self.dec1.parameters());
+        p.extend(self.head.parameters());
+        p
+    }
+}
+
+impl Segmenter for UNet {
+    fn forward(&self, images: &Var) -> Var {
+        let shape = images.shape();
+        assert!(
+            shape[2].is_multiple_of(4) && shape[3].is_multiple_of(4),
+            "UNet input extent must be divisible by 4, got {}x{}",
+            shape[2],
+            shape[3]
+        );
+        let e1 = self.enc1.forward(images);
+        let e2 = self.enc2.forward(&self.pool.forward(&e1));
+        let b = self.bottleneck.forward(&self.pool.forward(&e2));
+        let d2 = self
+            .dec2
+            .forward(&Var::concat(&[&self.up.forward(&b), &e2], 1));
+        let d1 = self
+            .dec1
+            .forward(&Var::concat(&[&self.up.forward(&d2), &e1], 1));
+        self.head.forward(&d1)
+    }
+
+    fn name(&self) -> &'static str {
+        "UNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_resolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = UNet::new(4, 1, 4, &mut rng);
+        let x = Var::constant(Tensor::ones(&[1, 4, 32, 32]));
+        assert_eq!(m.forward(&x).shape(), vec![1, 1, 32, 32]);
+    }
+
+    #[test]
+    fn skip_connections_carry_high_resolution_detail() {
+        // Zeroing the bottleneck parameters must NOT reduce the output to
+        // a constant — encoder-level skips still feed the decoder.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = UNet::new(1, 1, 2, &mut rng);
+        for p in m.bottleneck.parameters() {
+            p.assign(Tensor::zeros(&p.shape()));
+        }
+        let x = Var::constant(Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, &mut rng));
+        let y = m.forward(&x).value();
+        assert!(y.variance() > 0.0, "skips must keep spatial variation alive");
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = UNet::new(2, 1, 2, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 2, 8, 8], 0.0, 1.0, &mut rng));
+        m.forward(&x).square().mean_all().backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn rejects_misaligned_extent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = UNet::new(1, 1, 2, &mut rng);
+        m.forward(&Var::constant(Tensor::zeros(&[1, 1, 6, 6])));
+    }
+}

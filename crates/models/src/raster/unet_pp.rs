@@ -1,0 +1,126 @@
+//! UNet++ (Zhou et al., 2018): a nested U-Net whose dense skip pathways
+//! re-process encoder features at every resolution — the most accurate
+//! (and slowest) segmentation model in the paper's Tables VI and VII.
+
+use rand::Rng;
+
+use geotorch_nn::layers::{Conv2d, MaxPool2d, Upsample2d};
+use geotorch_nn::{Layer, Module, Var};
+
+use super::unet::DoubleConv;
+use crate::Segmenter;
+
+/// Depth-2 UNet++ (backbone nodes X00, X10, X20; nested nodes X01, X11,
+/// X02) with deep supervision head on the final nested node.
+pub struct UNetPlusPlus {
+    x00: DoubleConv,
+    x10: DoubleConv,
+    x20: DoubleConv,
+    x01: DoubleConv,
+    x11: DoubleConv,
+    x02: DoubleConv,
+    pool: MaxPool2d,
+    up: Upsample2d,
+    head: Conv2d,
+}
+
+impl UNetPlusPlus {
+    /// Build for `in_channels` inputs, `out_channels` logit maps, `base`
+    /// width.
+    pub fn new<R: Rng>(in_channels: usize, out_channels: usize, base: usize, rng: &mut R) -> Self {
+        let (c0, c1, c2) = (base, base * 2, base * 4);
+        UNetPlusPlus {
+            x00: DoubleConv::new(in_channels, c0, rng),
+            x10: DoubleConv::new(c0, c1, rng),
+            x20: DoubleConv::new(c1, c2, rng),
+            // X01 sees X00 + up(X10)
+            x01: DoubleConv::new(c0 + c1, c0, rng),
+            // X11 sees X10 + up(X20)
+            x11: DoubleConv::new(c1 + c2, c1, rng),
+            // X02 sees X00 + X01 + up(X11) — the dense skip.
+            x02: DoubleConv::new(c0 + c0 + c1, c0, rng),
+            pool: MaxPool2d::new(2, 2),
+            up: Upsample2d::new(2),
+            head: Conv2d::new(c0, out_channels, 1, 1, 0, rng),
+        }
+    }
+}
+
+impl Module for UNetPlusPlus {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.x00.parameters();
+        p.extend(self.x10.parameters());
+        p.extend(self.x20.parameters());
+        p.extend(self.x01.parameters());
+        p.extend(self.x11.parameters());
+        p.extend(self.x02.parameters());
+        p.extend(self.head.parameters());
+        p
+    }
+}
+
+impl Segmenter for UNetPlusPlus {
+    fn forward(&self, images: &Var) -> Var {
+        let shape = images.shape();
+        assert!(
+            shape[2].is_multiple_of(4) && shape[3].is_multiple_of(4),
+            "UNetPlusPlus input extent must be divisible by 4, got {}x{}",
+            shape[2],
+            shape[3]
+        );
+        let x00 = self.x00.forward(images);
+        let x10 = self.x10.forward(&self.pool.forward(&x00));
+        let x20 = self.x20.forward(&self.pool.forward(&x10));
+        let x01 = self
+            .x01
+            .forward(&Var::concat(&[&x00, &self.up.forward(&x10)], 1));
+        let x11 = self
+            .x11
+            .forward(&Var::concat(&[&x10, &self.up.forward(&x20)], 1));
+        let x02 = self
+            .x02
+            .forward(&Var::concat(&[&x00, &x01, &self.up.forward(&x11)], 1));
+        self.head.forward(&x02)
+    }
+
+    fn name(&self) -> &'static str {
+        "UNet++"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::UNet;
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_resolution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = UNetPlusPlus::new(4, 1, 4, &mut rng);
+        let x = Var::constant(Tensor::ones(&[1, 4, 16, 16]));
+        assert_eq!(m.forward(&x).shape(), vec![1, 1, 16, 16]);
+    }
+
+    #[test]
+    fn has_more_parameters_than_unet() {
+        // Table VII: UNet++ is the slowest segmentation model; its nested
+        // decoder must be strictly larger than UNet at equal base width.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pp = UNetPlusPlus::new(4, 1, 4, &mut rng);
+        let plain = UNet::new(4, 1, 4, &mut rng);
+        assert!(pp.num_parameters() > plain.num_parameters());
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = UNetPlusPlus::new(1, 1, 2, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 1, 8, 8], 0.0, 1.0, &mut rng));
+        m.forward(&x).square().mean_all().backward();
+        for p in m.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+}

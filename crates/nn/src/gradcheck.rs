@@ -1,0 +1,171 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op and layer in this crate is verified against a
+//! central-difference numerical gradient. The checker drives the *same*
+//! closure twice per perturbed element, so the closure must be a pure
+//! function of the parameter values.
+
+use geotorch_tensor::Tensor;
+
+use crate::Var;
+
+/// Compare analytic gradients against central finite differences.
+///
+/// `f` builds a scalar loss from the given parameters (it is invoked many
+/// times with perturbed values). Returns the maximum relative error across
+/// all parameter elements.
+pub fn check_gradients(params: &[Var], f: impl Fn(&[Var]) -> Var, eps: f32) -> f32 {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f(params);
+    loss.backward();
+    let analytic: Vec<Tensor> = params
+        .iter()
+        .map(|p| {
+            p.grad()
+                .unwrap_or_else(|| Tensor::zeros(&p.shape()))
+        })
+        .collect();
+
+    let mut worst: f32 = 0.0;
+    for (pi, p) in params.iter().enumerate() {
+        let base = p.value();
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus.as_mut_slice()[i] += eps;
+            p.assign(plus);
+            let lp = f(params).value().item();
+
+            let mut minus = base.clone();
+            minus.as_mut_slice()[i] -= eps;
+            p.assign(minus);
+            let lm = f(params).value().item();
+
+            p.assign(base.clone());
+
+            let numeric = (lp - lm) / (2.0 * eps);
+            let exact = analytic[pi].as_slice()[i];
+            let denom = numeric.abs().max(exact.abs()).max(1.0);
+            worst = worst.max((numeric - exact).abs() / denom);
+        }
+    }
+    worst
+}
+
+/// Assert that analytic and numeric gradients agree to within `tol`.
+///
+/// # Panics
+/// If the worst relative error exceeds `tol`.
+pub fn assert_gradients_close(params: &[Var], f: impl Fn(&[Var]) -> Var, eps: f32, tol: f32) {
+    let err = check_gradients(params, f, eps);
+    assert!(
+        err <= tol,
+        "gradient check failed: max relative error {err} > tolerance {tol}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quadratic_gradient_checks() {
+        let w = Var::parameter(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+        assert_gradients_close(
+            &[w],
+            |p| p[0].square().sum_all(),
+            1e-3,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn composite_expression_checks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Var::parameter(Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng));
+        let b = Var::parameter(Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng));
+        assert_gradients_close(
+            &[a, b],
+            |p| p[0].matmul(&p[1]).tanh().square().mean_all(),
+            1e-3,
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn broadcast_ops_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Var::parameter(Tensor::rand_uniform(&[3, 4], 0.5, 1.5, &mut rng));
+        let b = Var::parameter(Tensor::rand_uniform(&[4], 0.5, 1.5, &mut rng));
+        assert_gradients_close(
+            &[x, b],
+            |p| p[0].div(&p[1]).sigmoid().sum_all(),
+            1e-3,
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn conv_and_pool_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let x = Var::parameter(Tensor::rand_uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng));
+        let w = Var::parameter(Tensor::rand_uniform(&[3, 2, 3, 3], -0.5, 0.5, &mut rng));
+        let bias = Var::parameter(Tensor::rand_uniform(&[3], -0.1, 0.1, &mut rng));
+        assert_gradients_close(
+            &[x, w, bias],
+            |p| {
+                p[0].conv2d(&p[1], Some(&p[2]), 1, 1)
+                    .relu()
+                    .avgpool2d(2, 2)
+                    .mean_all()
+            },
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn conv_transpose_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Var::parameter(Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng));
+        let w = Var::parameter(Tensor::rand_uniform(&[2, 3, 2, 2], -0.5, 0.5, &mut rng));
+        let bias = Var::parameter(Tensor::rand_uniform(&[3], -0.1, 0.1, &mut rng));
+        assert_gradients_close(
+            &[x, w, bias],
+            |p| p[0].conv_transpose2d(&p[1], Some(&p[2]), 2, 0).tanh().mean_all(),
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn upsample_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let x = Var::parameter(Tensor::rand_uniform(&[1, 2, 3, 3], -1.0, 1.0, &mut rng));
+        assert_gradients_close(
+            &[x],
+            |p| p[0].upsample_nearest2d(2).square().mean_all(),
+            1e-3,
+            5e-3,
+        );
+    }
+
+    #[test]
+    fn narrow_concat_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Var::parameter(Tensor::rand_uniform(&[2, 6], -1.0, 1.0, &mut rng));
+        assert_gradients_close(
+            &[x],
+            |p| {
+                let a = p[0].narrow(1, 0, 3);
+                let b = p[0].narrow(1, 3, 6);
+                Var::concat(&[&a.tanh(), &b.sigmoid()], 1).square().mean_all()
+            },
+            1e-3,
+            5e-3,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialisation schemes (seeded, deterministic).
+
+use rand::Rng;
+
+use geotorch_tensor::Tensor;
+
+/// Kaiming/He uniform initialisation for layers followed by ReLU:
+/// `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialisation for tanh/sigmoid layers:
+/// `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sum must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Fan-in of a conv weight `[O, C, kh, kw]` or linear weight `[out, in]`.
+pub fn fan_in_of(shape: &[usize]) -> usize {
+    match shape.len() {
+        2 => shape[1],
+        4 => shape[1] * shape[2] * shape[3],
+        _ => panic!("fan_in_of expects a 2-D or 4-D weight, got {:?}", shape),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = kaiming_uniform(&[64, 32], 32, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+        // Should actually fill the range, not collapse near zero.
+        assert!(t.max() > bound * 0.5);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&[16, 8], 8, 16, &mut rng);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn fan_in_shapes() {
+        assert_eq!(fan_in_of(&[10, 20]), 20);
+        assert_eq!(fan_in_of(&[8, 3, 5, 5]), 75);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_uniform(&[4, 4], 4, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = kaiming_uniform(&[4, 4], 4, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

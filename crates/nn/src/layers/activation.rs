@@ -1,0 +1,143 @@
+//! Activation and regularisation layers.
+
+use std::cell::{Cell, RefCell};
+
+use rand::{Rng, SeedableRng};
+
+use geotorch_tensor::Tensor;
+
+use crate::{Layer, Module, Var};
+
+/// Rectified linear unit layer.
+#[derive(Default)]
+pub struct Relu;
+
+impl Module for Relu {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&self, input: &Var) -> Var {
+        input.relu()
+    }
+}
+
+/// Sigmoid layer.
+#[derive(Default)]
+pub struct Sigmoid;
+
+impl Module for Sigmoid {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&self, input: &Var) -> Var {
+        input.sigmoid()
+    }
+}
+
+/// Tanh layer.
+#[derive(Default)]
+pub struct Tanh;
+
+impl Module for Tanh {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&self, input: &Var) -> Var {
+        input.tanh()
+    }
+}
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is the
+/// identity.
+pub struct Dropout {
+    p: f32,
+    training: Cell<bool>,
+    rng: RefCell<rand::rngs::StdRng>,
+}
+
+impl Dropout {
+    /// New dropout with drop probability `p ∈ [0, 1)` and a deterministic
+    /// seed for the mask stream.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(rand::rngs::StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Module for Dropout {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&self, input: &Var) -> Var {
+        if !self.training.get() || self.p == 0.0 {
+            return input.clone();
+        }
+        let shape = input.shape();
+        let scale = 1.0 / (1.0 - self.p);
+        let mut rng = self.rng.borrow_mut();
+        let mask: Vec<f32> = (0..shape.iter().product::<usize>())
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        input.mul(&Var::constant(Tensor::from_vec(mask, &shape)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_forward() {
+        let x = Var::constant(Tensor::from_vec(vec![-1.0, 1.0], &[2]));
+        assert_eq!(Relu.forward(&x).value().as_slice(), &[0.0, 1.0]);
+        assert!(Sigmoid.forward(&x).value().as_slice()[1] > 0.5);
+        assert!(Tanh.forward(&x).value().as_slice()[0] < 0.0);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Var::constant(Tensor::ones(&[100]));
+        assert_eq!(d.forward(&x).value(), Tensor::ones(&[100]));
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let d = Dropout::new(0.3, 7);
+        let x = Var::constant(Tensor::ones(&[100_000]));
+        let y = d.forward(&x).value();
+        // E[y] = 1; allow sampling noise.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Roughly 30% zeros.
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 100_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p must be in")]
+    fn dropout_rejects_bad_p() {
+        Dropout::new(1.0, 0);
+    }
+}

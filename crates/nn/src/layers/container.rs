@@ -1,0 +1,100 @@
+//! Layer composition.
+
+use crate::{Layer, Module, Var};
+
+/// A chain of layers applied in order, like `torch.nn.Sequential`.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain (identity).
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    #[allow(clippy::should_implement_trait)] // builder-style append, not arithmetic
+    pub fn add(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for layer in &self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&self, input: &Var) -> Var {
+        self.layers
+            .iter()
+            .fold(input.clone(), |x, layer| layer.forward(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear, MaxPool2d, Relu};
+    use geotorch_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let s = Sequential::new();
+        assert!(s.is_empty());
+        let x = Var::constant(Tensor::arange(4));
+        assert_eq!(s.forward(&x).value(), x.value());
+    }
+
+    #[test]
+    fn cnn_chain_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let net = Sequential::new()
+            .add(Conv2d::same(1, 4, 3, &mut rng))
+            .add(Relu)
+            .add(MaxPool2d::new(2, 2));
+        let x = Var::constant(Tensor::zeros(&[2, 1, 8, 8]));
+        assert_eq!(net.forward(&x).shape(), vec![2, 4, 4, 4]);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.parameters().len(), 2);
+    }
+
+    #[test]
+    fn parameters_collected_in_order() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = Sequential::new()
+            .add(Linear::new(3, 4, &mut rng))
+            .add(Relu)
+            .add(Linear::new(4, 2, &mut rng));
+        let params = net.parameters();
+        assert_eq!(params.len(), 4);
+        assert_eq!(params[0].shape(), vec![4, 3]);
+        assert_eq!(params[2].shape(), vec![2, 4]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Convolutional layers.
+
+use rand::Rng;
+
+use geotorch_tensor::Tensor;
+
+use crate::init::kaiming_uniform;
+use crate::{Layer, Module, Var};
+
+/// 2-D convolution layer. Input `[B, C, H, W]`, weight `[O, C, k, k]`.
+pub struct Conv2d {
+    weight: Var,
+    bias: Option<Var>,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// New layer with a square kernel, Kaiming init, and zero bias.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Var::parameter(kaiming_uniform(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Some(Var::parameter(Tensor::zeros(&[out_channels]))),
+            stride,
+            pad,
+        }
+    }
+
+    /// Same-padding convenience: stride 1, pad `kernel / 2` (odd kernels
+    /// preserve spatial extent).
+    pub fn same<R: Rng>(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut R) -> Self {
+        Conv2d::new(in_channels, out_channels, kernel, 1, kernel / 2, rng)
+    }
+
+    /// Drop the bias term.
+    pub fn without_bias(mut self) -> Self {
+        self.bias = None;
+        self
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+}
+
+impl Module for Conv2d {
+    fn parameters(&self) -> Vec<Var> {
+        let mut params = vec![self.weight.clone()];
+        params.extend(self.bias.clone());
+        params
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&self, input: &Var) -> Var {
+        input.conv2d(&self.weight, self.bias.as_ref(), self.stride, self.pad)
+    }
+}
+
+/// Transposed 2-D convolution layer (learned upsampling).
+/// Input `[B, C, H, W]`, weight `[C, O, k, k]`.
+pub struct ConvTranspose2d {
+    weight: Var,
+    bias: Option<Var>,
+    stride: usize,
+    pad: usize,
+}
+
+impl ConvTranspose2d {
+    /// New layer; commonly `kernel == stride` for exact ×stride upsampling.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        ConvTranspose2d {
+            weight: Var::parameter(kaiming_uniform(
+                &[in_channels, out_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Some(Var::parameter(Tensor::zeros(&[out_channels]))),
+            stride,
+            pad,
+        }
+    }
+}
+
+impl Module for ConvTranspose2d {
+    fn parameters(&self) -> Vec<Var> {
+        let mut params = vec![self.weight.clone()];
+        params.extend(self.bias.clone());
+        params
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&self, input: &Var) -> Var {
+        input.conv_transpose2d(&self.weight, self.bias.as_ref(), self.stride, self.pad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradients_close;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_same_preserves_spatial_extent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let c = Conv2d::same(3, 8, 3, &mut rng);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 16, 16]));
+        assert_eq!(c.forward(&x).shape(), vec![2, 8, 16, 16]);
+        assert_eq!(c.out_channels(), 8);
+    }
+
+    #[test]
+    fn conv_strided_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let c = Conv2d::new(1, 4, 3, 2, 1, &mut rng);
+        let x = Var::constant(Tensor::zeros(&[1, 1, 8, 8]));
+        assert_eq!(c.forward(&x).shape(), vec![1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv_transpose_doubles_extent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let c = ConvTranspose2d::new(4, 2, 2, 2, 0, &mut rng);
+        let x = Var::constant(Tensor::zeros(&[1, 4, 5, 5]));
+        assert_eq!(c.forward(&x).shape(), vec![1, 2, 10, 10]);
+    }
+
+    #[test]
+    fn conv_layer_gradients_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        assert_gradients_close(
+            &c.parameters(),
+            |_| c.forward(&Var::constant(x.clone())).square().mean_all(),
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn without_bias_drops_parameter() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let c = Conv2d::new(1, 1, 3, 1, 1, &mut rng).without_bias();
+        assert_eq!(c.parameters().len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Neural-network layers.
+//!
+//! All layers hold their parameters as [`crate::Var`] leaves and implement
+//! [`crate::Module`]; single-input layers also implement [`crate::Layer`]
+//! so they compose in [`Sequential`].
+
+mod activation;
+mod container;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+mod rnn;
+
+pub use activation::{Dropout, Relu, Sigmoid, Tanh};
+pub use container::Sequential;
+pub use conv::{Conv2d, ConvTranspose2d};
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, MaxPool2d, Upsample2d};
+pub use rnn::{ConvLstmCell, LstmCell};

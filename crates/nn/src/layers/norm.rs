@@ -1,0 +1,229 @@
+//! Batch normalisation.
+
+use std::cell::Cell;
+
+use geotorch_tensor::Tensor;
+
+use crate::{Layer, Module, Var};
+
+/// 2-D batch normalisation over `[B, C, H, W]` inputs.
+///
+/// In training mode the layer normalises with batch statistics (computed
+/// through the autograd tape, so gradients flow through the normalisation)
+/// and updates exponential running statistics; in eval mode it uses the
+/// stored running statistics as constants.
+///
+/// The running statistics are kept as *non-trainable* [`Var`]s and
+/// reported by [`Module::parameters`]: optimizers skip them (they never
+/// receive gradients) but `state_dict`/`load_state_dict` round-trip them,
+/// so checkpointing and best-weights restoration stay consistent — the
+/// same role `buffers` play in a PyTorch state dict.
+pub struct BatchNorm2d {
+    gamma: Var,
+    beta: Var,
+    running_mean: Var,
+    running_var: Var,
+    training: Cell<bool>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// New layer for `channels` feature maps with default momentum 0.1 and
+    /// eps 1e-5 (PyTorch defaults).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Var::parameter(Tensor::ones(&[channels])),
+            beta: Var::parameter(Tensor::zeros(&[channels])),
+            running_mean: Var::constant(Tensor::zeros(&[channels])),
+            running_var: Var::constant(Tensor::ones(&[channels])),
+            training: Cell::new(true),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.shape()[0]
+    }
+
+    /// Current running mean (for inspection and checkpointing).
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.value()
+    }
+
+    /// Current running variance.
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.value()
+    }
+
+    /// Overwrite running statistics (checkpoint restore).
+    pub fn set_running_stats(&self, mean: Tensor, var: Tensor) {
+        assert_eq!(mean.shape(), &[self.channels()], "running mean shape");
+        assert_eq!(var.shape(), &[self.channels()], "running var shape");
+        self.running_mean.assign(mean);
+        self.running_var.assign(var);
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn parameters(&self) -> Vec<Var> {
+        vec![
+            self.gamma.clone(),
+            self.beta.clone(),
+            self.running_mean.clone(),
+            self.running_var.clone(),
+        ]
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&self, input: &Var) -> Var {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "BatchNorm2d expects [B,C,H,W]");
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        // [B,C,H,W] → [C, B*H*W] so per-channel stats are row stats.
+        let xt = input.permute(&[1, 0, 2, 3]).reshape(&[c, b * h * w]);
+        let normalised = if self.training.get() {
+            let mean = xt.mean_axis_keepdim(1); // [C,1]
+            let centered = xt.sub(&mean);
+            let var = centered.square().mean_axis_keepdim(1); // [C,1]
+            // Update running stats outside the tape.
+            {
+                let batch_mean = mean.value().reshape(&[c]);
+                let batch_var = var.value().reshape(&[c]);
+                let m = self.momentum;
+                self.running_mean.assign(
+                    self.running_mean
+                        .value()
+                        .mul_scalar(1.0 - m)
+                        .add(&batch_mean.mul_scalar(m)),
+                );
+                self.running_var.assign(
+                    self.running_var
+                        .value()
+                        .mul_scalar(1.0 - m)
+                        .add(&batch_var.mul_scalar(m)),
+                );
+            }
+            centered.div(&var.add_scalar(self.eps).sqrt())
+        } else {
+            let mean = Var::constant(self.running_mean.value().reshape(&[c, 1]));
+            let var = Var::constant(self.running_var.value().reshape(&[c, 1]));
+            xt.sub(&mean).div(&var.add_scalar(self.eps).sqrt())
+        };
+        let scaled = normalised
+            .mul(&self.gamma.reshape(&[c, 1]))
+            .add(&self.beta.reshape(&[c, 1]));
+        scaled.reshape(&[c, b, h, w]).permute(&[1, 0, 2, 3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_gradients_close;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let bn = BatchNorm2d::new(3);
+        let x = Var::constant(Tensor::rand_uniform(&[4, 3, 5, 5], 10.0, 20.0, &mut rng));
+        let y = bn.forward(&x).value();
+        // Per channel: mean ≈ 0, var ≈ 1.
+        for ch in 0..3 {
+            let channel = y.narrow(1, ch, ch + 1);
+            assert!(channel.mean().abs() < 1e-4, "channel {ch} mean {}", channel.mean());
+            assert!((channel.variance() - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let bn = BatchNorm2d::new(1);
+        for _ in 0..50 {
+            let x = Var::constant(Tensor::rand_uniform(&[8, 1, 4, 4], 4.0, 6.0, &mut rng));
+            bn.forward(&x);
+        }
+        let rm = bn.running_mean().item();
+        assert!((rm - 5.0).abs() < 0.2, "running mean {rm} should approach 5");
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let bn = BatchNorm2d::new(1);
+        bn.set_running_stats(Tensor::from_vec(vec![2.0], &[1]), Tensor::from_vec(vec![4.0], &[1]));
+        bn.set_training(false);
+        let x = Var::constant(Tensor::full(&[1, 1, 2, 2], 4.0));
+        let y = bn.forward(&x).value();
+        // (4 - 2) / sqrt(4 + eps) ≈ 1.
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn eval_output_is_deterministic_and_stats_frozen() {
+        let bn = BatchNorm2d::new(2);
+        bn.set_training(false);
+        let before = bn.running_mean();
+        let x = Var::constant(Tensor::full(&[2, 2, 3, 3], 7.0));
+        bn.forward(&x);
+        assert_eq!(bn.running_mean(), before);
+    }
+
+    #[test]
+    fn state_dict_round_trips_running_stats() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bn = BatchNorm2d::new(2);
+        // Drift the running stats.
+        for _ in 0..10 {
+            let x = Var::constant(Tensor::rand_uniform(&[4, 2, 3, 3], 5.0, 9.0, &mut rng));
+            bn.forward(&x);
+        }
+        let saved = bn.state_dict();
+        assert_eq!(saved.len(), 4, "gamma, beta, running mean, running var");
+        let drifted_mean = bn.running_mean();
+
+        // Mutate, then restore.
+        bn.set_running_stats(Tensor::zeros(&[2]), Tensor::ones(&[2]));
+        assert_ne!(bn.running_mean(), drifted_mean);
+        bn.load_state_dict(&saved);
+        assert_eq!(bn.running_mean(), drifted_mean);
+    }
+
+    #[test]
+    fn running_stats_never_receive_gradients() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let bn = BatchNorm2d::new(2);
+        let x = Var::constant(Tensor::rand_uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng));
+        bn.forward(&x).square().mean_all().backward();
+        let params = bn.parameters();
+        assert!(params[0].grad().is_some(), "gamma must get a gradient");
+        assert!(params[1].grad().is_some(), "beta must get a gradient");
+        assert!(params[2].grad().is_none(), "running mean is a buffer");
+        assert!(params[3].grad().is_none(), "running var is a buffer");
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform(&[3, 2, 4, 4], -1.0, 1.0, &mut rng);
+        // Check only the trainable parameters (gamma, beta); the buffer
+        // entries do not affect the training-mode loss.
+        let trainable = &bn.parameters()[..2];
+        assert_gradients_close(
+            trainable,
+            |_| bn.forward(&Var::constant(x.clone())).square().mean_all(),
+            1e-2,
+            2e-2,
+        );
+    }
+}

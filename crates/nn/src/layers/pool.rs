@@ -1,0 +1,101 @@
+//! Pooling and upsampling layers.
+
+use crate::{Layer, Module, Var};
+
+/// Max pooling over square windows.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Window of `kernel × kernel`, stepping by `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        MaxPool2d { kernel, stride }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&self, input: &Var) -> Var {
+        input.maxpool2d(self.kernel, self.stride)
+    }
+}
+
+/// Average pooling over square windows.
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl AvgPool2d {
+    /// Window of `kernel × kernel`, stepping by `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        AvgPool2d { kernel, stride }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&self, input: &Var) -> Var {
+        input.avgpool2d(self.kernel, self.stride)
+    }
+}
+
+/// Nearest-neighbour upsampling by an integer factor.
+pub struct Upsample2d {
+    factor: usize,
+}
+
+impl Upsample2d {
+    /// Scale both spatial axes by `factor`.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor > 0, "factor must be positive");
+        Upsample2d { factor }
+    }
+}
+
+impl Module for Upsample2d {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl Layer for Upsample2d {
+    fn forward(&self, input: &Var) -> Var {
+        input.upsample_nearest2d(self.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_tensor::Tensor;
+
+    #[test]
+    fn pool_shapes() {
+        let x = Var::constant(Tensor::zeros(&[1, 2, 8, 8]));
+        assert_eq!(MaxPool2d::new(2, 2).forward(&x).shape(), vec![1, 2, 4, 4]);
+        assert_eq!(AvgPool2d::new(2, 2).forward(&x).shape(), vec![1, 2, 4, 4]);
+        assert_eq!(Upsample2d::new(3).forward(&x).shape(), vec![1, 2, 24, 24]);
+    }
+
+    #[test]
+    fn upsample_then_pool_is_identity_for_avg() {
+        let x = Var::constant(Tensor::arange(16).reshape(&[1, 1, 4, 4]));
+        let y = AvgPool2d::new(2, 2).forward(&Upsample2d::new(2).forward(&x));
+        assert_eq!(y.value(), x.value());
+    }
+}

@@ -1,0 +1,44 @@
+//! # geotorch-nn
+//!
+//! Reverse-mode automatic differentiation, neural-network layers, loss
+//! functions, and optimizers for GeoTorch-RS.
+//!
+//! This crate is the PyTorch-autograd substrate of the GeoTorchAI
+//! reproduction. Differentiable computation is expressed over [`Var`]
+//! values: each tensor operation records its inputs and a backward closure
+//! on a dynamically built tape, and [`Var::backward`] walks the tape in
+//! reverse topological order, accumulating gradients into every variable
+//! created with [`Var::parameter`].
+//!
+//! ## Example: one gradient step
+//!
+//! ```
+//! use geotorch_nn::{Var, optim::{Sgd, Optimizer}};
+//! use geotorch_tensor::Tensor;
+//!
+//! let w = Var::parameter(Tensor::from_vec(vec![2.0], &[1]));
+//! let x = Var::constant(Tensor::from_vec(vec![3.0], &[1]));
+//! let loss = w.mul(&x).sub(&Var::constant(Tensor::from_vec(vec![12.0], &[1]))).square().mean_all();
+//! loss.backward();
+//! // d/dw (3w - 12)^2 = 2*(3w-12)*3 = -36 at w = 2
+//! assert_eq!(w.grad().unwrap().as_slice(), &[-36.0]);
+//!
+//! let mut opt = Sgd::new(vec![w.clone()], 0.01, 0.0);
+//! opt.step();
+//! assert!((w.value().as_slice()[0] - 2.36).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod module;
+pub mod ops;
+pub mod optim;
+pub mod schedule;
+mod var;
+
+pub use module::{Layer, Module};
+pub use var::Var;

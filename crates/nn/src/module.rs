@@ -1,0 +1,98 @@
+//! Module and Layer traits, mirroring `torch.nn.Module`.
+
+use geotorch_tensor::Tensor;
+
+use crate::Var;
+
+/// Anything that owns trainable parameters.
+///
+/// Mirrors the role of `torch.nn.Module` in the paper's listings: models in
+/// `geotorch-models` implement this so optimizers can collect their
+/// parameters and training loops can toggle train/eval behaviour
+/// (dropout, batch-norm running statistics).
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// Toggle training-mode behaviour (dropout sampling, batch-norm
+    /// statistic updates). Default: no-op for stateless modules.
+    fn set_training(&self, _training: bool) {}
+
+    /// Snapshot every parameter value (for checkpointing).
+    fn state_dict(&self) -> Vec<Tensor> {
+        self.parameters().iter().map(|p| p.value()).collect()
+    }
+
+    /// Restore parameter values from [`Module::state_dict`] output.
+    ///
+    /// # Panics
+    /// If the number of tensors or any shape differs.
+    fn load_state_dict(&self, state: &[Tensor]) {
+        let params = self.parameters();
+        assert_eq!(
+            params.len(),
+            state.len(),
+            "state dict has {} tensors, model has {} parameters",
+            state.len(),
+            params.len()
+        );
+        for (p, t) in params.iter().zip(state) {
+            p.assign(t.clone());
+        }
+    }
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().len()).sum()
+    }
+}
+
+/// A module with the standard one-input-one-output forward pass, usable in
+/// [`crate::layers::Sequential`]. Multi-input models (e.g. ST-ResNet's
+/// three temporal branches) expose their own typed `forward` instead.
+pub trait Layer: Module {
+    /// Apply the layer.
+    fn forward(&self, input: &Var) -> Var;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scale {
+        w: Var,
+    }
+
+    impl Module for Scale {
+        fn parameters(&self) -> Vec<Var> {
+            vec![self.w.clone()]
+        }
+    }
+
+    impl Layer for Scale {
+        fn forward(&self, input: &Var) -> Var {
+            input.mul(&self.w)
+        }
+    }
+
+    #[test]
+    fn state_dict_round_trip() {
+        let m = Scale {
+            w: Var::parameter(Tensor::from_vec(vec![2.0], &[1])),
+        };
+        let saved = m.state_dict();
+        m.parameters()[0].assign(Tensor::from_vec(vec![5.0], &[1]));
+        m.load_state_dict(&saved);
+        assert_eq!(m.parameters()[0].value().as_slice(), &[2.0]);
+        assert_eq!(m.num_parameters(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dict has")]
+    fn load_rejects_wrong_length() {
+        let m = Scale {
+            w: Var::parameter(Tensor::zeros(&[1])),
+        };
+        m.load_state_dict(&[]);
+    }
+}

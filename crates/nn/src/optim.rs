@@ -1,0 +1,247 @@
+//! Optimizers: SGD (with momentum) and Adam.
+
+use geotorch_tensor::Tensor;
+
+use crate::Var;
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Apply one update using the gradients currently stored on the
+    /// parameters. Parameters with no gradient are skipped.
+    fn step(&mut self);
+
+    /// Clear gradients on all managed parameters.
+    fn zero_grad(&self);
+
+    /// The parameters this optimizer updates.
+    fn parameters(&self) -> &[Var];
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// `momentum = 0` gives plain SGD.
+    pub fn new(params: Vec<Var>, lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        let n = params.len();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: vec![None; n],
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (param, vel) in self.params.iter().zip(&mut self.velocity) {
+            let Some(grad) = param.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = match vel.take() {
+                    Some(v) => v.mul_scalar(self.momentum).add(&grad),
+                    None => grad,
+                };
+                *vel = Some(v.clone());
+                v
+            } else {
+                grad
+            };
+            param.assign(param.value().sub(&update.mul_scalar(self.lr)));
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer used for
+/// every experiment in the paper (§V-C).
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        Adam::with_betas(params, lr, 0.9, 0.999)
+    }
+
+    /// Adam with explicit β coefficients.
+    pub fn with_betas(params: Vec<Var>, lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let n = params.len();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: vec![None; n],
+            v: vec![None; n],
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((param, m_slot), v_slot) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let Some(grad) = param.grad() else { continue };
+            let m_prev = m_slot.take().unwrap_or_else(|| Tensor::zeros(grad.shape()));
+            let v_prev = v_slot.take().unwrap_or_else(|| Tensor::zeros(grad.shape()));
+            let m = m_prev
+                .mul_scalar(self.beta1)
+                .add(&grad.mul_scalar(1.0 - self.beta1));
+            let v = v_prev
+                .mul_scalar(self.beta2)
+                .add(&grad.square().mul_scalar(1.0 - self.beta2));
+            let m_hat = m.mul_scalar(1.0 / bc1);
+            let v_hat = v.mul_scalar(1.0 / bc2);
+            let update = m_hat.div(&v_hat.sqrt().add_scalar(self.eps));
+            param.assign(param.value().sub(&update.mul_scalar(self.lr)));
+            *m_slot = Some(m);
+            *v_slot = Some(v);
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+
+    fn quadratic_param() -> Var {
+        Var::parameter(Tensor::from_vec(vec![5.0, -3.0], &[2]))
+    }
+
+    fn converges(opt: &mut dyn Optimizer, param: &Var, steps: usize) -> f32 {
+        for _ in 0..steps {
+            opt.zero_grad();
+            let loss = param.square().sum_all();
+            loss.backward();
+            opt.step();
+        }
+        param.value().abs().max()
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let p = quadratic_param();
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        assert!(converges(&mut opt, &p, 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_minimises_quadratic() {
+        let p = quadratic_param();
+        let mut opt = Sgd::new(vec![p.clone()], 0.05, 0.9);
+        assert!(converges(&mut opt, &p, 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let p = quadratic_param();
+        let mut opt = Adam::new(vec![p.clone()], 0.3);
+        assert!(converges(&mut opt, &p, 200) < 1e-2);
+    }
+
+    #[test]
+    fn adam_fits_linear_regression() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        // y = 2x + 1
+        let xs = Tensor::rand_uniform(&[64, 1], -1.0, 1.0, &mut rng);
+        let ys = xs.mul_scalar(2.0).add_scalar(1.0);
+        let w = Var::parameter(Tensor::zeros(&[1, 1]));
+        let b = Var::parameter(Tensor::zeros(&[1]));
+        let mut opt = Adam::new(vec![w.clone(), b.clone()], 0.05);
+        for _ in 0..400 {
+            opt.zero_grad();
+            let pred = Var::constant(xs.clone()).matmul(&w).add(&b);
+            let loss = mse_loss(&pred, &Var::constant(ys.clone()));
+            loss.backward();
+            opt.step();
+        }
+        assert!((w.value().item() - 2.0).abs() < 0.05);
+        assert!((b.value().item() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn step_skips_parameters_without_grad() {
+        let p = Var::parameter(Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        opt.step(); // no backward ran — value must be untouched
+        assert_eq!(p.value().item(), 1.0);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(vec![], 0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        Sgd::new(vec![], 0.0, 0.0);
+    }
+}

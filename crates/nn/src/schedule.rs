@@ -1,0 +1,164 @@
+//! Learning-rate schedules and gradient utilities.
+
+use geotorch_tensor::Tensor;
+
+use crate::optim::Optimizer;
+use crate::Var;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier on the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier for `epoch` (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Apply the schedule for `epoch` to an optimizer, given its base
+    /// learning rate.
+    fn apply(&self, optimizer: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        optimizer.set_learning_rate(base_lr * self.factor(epoch));
+    }
+}
+
+/// Multiply the learning rate by `gamma` every `step_size` epochs.
+pub struct StepLr {
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// New step schedule.
+    ///
+    /// # Panics
+    /// If `step_size == 0` or `gamma` is not positive.
+    pub fn new(step_size: usize, gamma: f32) -> StepLr {
+        assert!(step_size > 0, "step_size must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        StepLr { step_size, gamma }
+    }
+}
+
+impl LrSchedule for StepLr {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `min_factor` over `total_epochs`.
+pub struct CosineLr {
+    total_epochs: usize,
+    min_factor: f32,
+}
+
+impl CosineLr {
+    /// New cosine schedule.
+    pub fn new(total_epochs: usize, min_factor: f32) -> CosineLr {
+        assert!(total_epochs > 0, "total_epochs must be positive");
+        CosineLr {
+            total_epochs,
+            min_factor,
+        }
+    }
+}
+
+impl LrSchedule for CosineLr {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_factor + (1.0 - self.min_factor) * cos
+    }
+}
+
+/// Clip the global L2 norm of the gradients on `params` to `max_norm`.
+/// Returns the pre-clip norm. Parameters without gradients are skipped.
+///
+/// Standard recurrent-network stabiliser (ConvLSTM backprop through many
+/// steps can spike).
+pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut total_sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total_sq += g.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        }
+    }
+    let norm = (total_sq as f32).sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                let clipped = g.mul_scalar(scale);
+                p.zero_grad();
+                // Re-seed the gradient with the clipped value.
+                set_grad(p, clipped);
+            }
+        }
+    }
+    norm
+}
+
+fn set_grad(param: &Var, grad: Tensor) {
+    // Accumulate into the cleared slot.
+    // zero_grad left grad = None; emulate accumulation via backward-free
+    // assignment by reusing the public accumulate path: create a
+    // temporary graph is overkill, so Var exposes this internally.
+    param.seed_grad(grad);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn step_lr_decays_in_steps() {
+        let s = StepLr::new(10, 0.5);
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_lr_anneals_smoothly() {
+        let s = CosineLr::new(100, 0.1);
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        let mid = s.factor(50);
+        assert!(mid > 0.1 && mid < 1.0);
+        // Monotone decreasing.
+        assert!(s.factor(20) > s.factor(40));
+    }
+
+    #[test]
+    fn schedule_applies_to_optimizer() {
+        let mut opt = Sgd::new(vec![], 0.1, 0.0);
+        StepLr::new(5, 0.1).apply(&mut opt, 0.1, 7);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_large_gradients() {
+        let p = Var::parameter(Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        p.mul_scalar(3.0).sum_all().backward();
+        // grad = [3, 3], norm = sqrt(18) ≈ 4.24
+        let norm = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((norm - 18.0f32.sqrt()).abs() < 1e-4);
+        let clipped = p.grad().unwrap();
+        let new_norm: f32 = clipped.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients() {
+        let p = Var::parameter(Tensor::scalar(1.0));
+        p.mul_scalar(0.5).sum_all().backward();
+        let before = p.grad().unwrap();
+        clip_grad_norm(&[p.clone()], 10.0);
+        assert_eq!(p.grad().unwrap(), before);
+    }
+
+    #[test]
+    fn clip_skips_gradient_less_params() {
+        let p = Var::parameter(Tensor::scalar(1.0));
+        assert_eq!(clip_grad_norm(&[p], 1.0), 0.0);
+    }
+}

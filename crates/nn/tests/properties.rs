@@ -1,0 +1,134 @@
+//! Property-based tests for autograd and optimisation invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use geotorch_nn::gradcheck::check_gradients;
+use geotorch_nn::loss::{bce_with_logits_loss, cross_entropy_loss, mse_loss};
+use geotorch_nn::optim::{Adam, Optimizer, Sgd};
+use geotorch_nn::Var;
+use geotorch_tensor::Tensor;
+
+proptest! {
+    /// d(a+b) distributes: grad of sum-of-all equals ones for both
+    /// operands regardless of shapes (broadcast-compatible pairs).
+    #[test]
+    fn addition_gradients_are_ones(rows in 1usize..5, cols in 1usize..5, seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Var::parameter(Tensor::rand_uniform(&[rows, cols], -1.0, 1.0, &mut rng));
+        let b = Var::parameter(Tensor::rand_uniform(&[cols], -1.0, 1.0, &mut rng));
+        a.add(&b).sum_all().backward();
+        prop_assert_eq!(a.grad().unwrap(), Tensor::ones(&[rows, cols]));
+        prop_assert_eq!(b.grad().unwrap(), Tensor::full(&[cols], rows as f32));
+    }
+
+    /// Random expression trees pass finite-difference gradient checks.
+    #[test]
+    fn random_expressions_gradcheck(seed in 0u64..50, depth in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = Var::parameter(Tensor::rand_uniform(&[3, 3], 0.2, 1.0, &mut rng));
+        let err = check_gradients(
+            std::slice::from_ref(&w),
+            |params| {
+                let mut x = params[0].clone();
+                for level in 0..depth {
+                    x = match (seed as usize + level) % 4 {
+                        0 => x.tanh(),
+                        1 => x.sigmoid(),
+                        2 => x.square().add_scalar(0.1).sqrt(),
+                        _ => x.mul(&params[0]).add_scalar(0.5),
+                    };
+                }
+                x.mean_all()
+            },
+            1e-3,
+        );
+        prop_assert!(err < 2e-2, "gradcheck error {err}");
+    }
+
+    /// MSE is symmetric, non-negative, and zero iff inputs match.
+    #[test]
+    fn mse_properties(data in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        let n = data.len();
+        let a = Var::constant(Tensor::from_vec(data.clone(), &[n]));
+        let b = Var::constant(Tensor::from_vec(data.iter().map(|v| v + 1.0).collect(), &[n]));
+        prop_assert!((mse_loss(&a, &b).value().item() - 1.0).abs() < 1e-5);
+        prop_assert_eq!(mse_loss(&a, &a).value().item(), 0.0);
+        let ab = mse_loss(&a, &b).value().item();
+        let ba = mse_loss(&b, &a).value().item();
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    /// Cross-entropy is minimised by the true class: boosting the target
+    /// logit always lowers the loss.
+    #[test]
+    fn cross_entropy_monotone_in_target_logit(
+        logits in prop::collection::vec(-3.0f32..3.0, 4),
+        target in 0usize..4,
+        boost in 0.1f32..3.0,
+    ) {
+        let base = Tensor::from_vec(logits.clone(), &[1, 4]);
+        let mut boosted = logits;
+        boosted[target] += boost;
+        let boosted = Tensor::from_vec(boosted, &[1, 4]);
+        let l0 = cross_entropy_loss(&Var::constant(base), &[target]).value().item();
+        let l1 = cross_entropy_loss(&Var::constant(boosted), &[target]).value().item();
+        prop_assert!(l1 < l0, "boosting the target logit must reduce CE: {l0} -> {l1}");
+    }
+
+    /// BCE-with-logits is always non-negative and finite, even at huge
+    /// logits.
+    #[test]
+    fn bce_always_finite(
+        logits in prop::collection::vec(-500.0f32..500.0, 1..16),
+        flip in 0u8..2,
+    ) {
+        let n = logits.len();
+        let y: Vec<f32> = (0..n).map(|i| ((i as u8 + flip) % 2) as f32).collect();
+        let loss = bce_with_logits_loss(
+            &Var::constant(Tensor::from_vec(logits, &[n])),
+            &Var::constant(Tensor::from_vec(y, &[n])),
+        )
+        .value()
+        .item();
+        prop_assert!(loss.is_finite());
+        prop_assert!(loss >= 0.0);
+    }
+
+    /// Both optimizers strictly decrease a convex quadratic from any
+    /// start, for any reasonable learning rate.
+    #[test]
+    fn optimizers_descend_quadratics(start in -5.0f32..5.0, lr in 0.001f32..0.2, adam in any::<bool>()) {
+        // Adam's bias-corrected step is ~lr regardless of gradient size,
+        // so within ~lr of the optimum it can oscillate; require a start
+        // comfortably outside that basin.
+        prop_assume!(start.abs() > lr * 8.0 && start.abs() > 1e-2);
+        let p = Var::parameter(Tensor::scalar(start));
+        let mut opt: Box<dyn Optimizer> = if adam {
+            Box::new(Adam::new(vec![p.clone()], lr))
+        } else {
+            Box::new(Sgd::new(vec![p.clone()], lr, 0.0))
+        };
+        let before = p.value().item().powi(2);
+        for _ in 0..5 {
+            opt.zero_grad();
+            p.square().sum_all().backward();
+            opt.step();
+        }
+        let after = p.value().item().powi(2);
+        prop_assert!(after < before, "loss must drop: {before} -> {after}");
+    }
+
+    /// Backward through a shared subgraph scales linearly with fan-out:
+    /// using a node k times multiplies its gradient by k.
+    #[test]
+    fn gradient_fanout_scaling(k in 1usize..6, value in -2.0f32..2.0) {
+        let w = Var::parameter(Tensor::scalar(value));
+        let mut acc = w.mul_scalar(1.0);
+        for _ in 1..k {
+            acc = acc.add(&w);
+        }
+        acc.sum_all().backward();
+        prop_assert_eq!(w.grad().unwrap().item(), k as f32);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for preprocessing pipelines.
+
+use std::fmt;
+
+use geotorch_dataframe::DfError;
+use geotorch_raster::RasterError;
+
+/// Result alias for preprocessing operations.
+pub type PreprocessResult<T> = Result<T, PreprocessError>;
+
+/// Errors surfaced by the preprocessing module.
+#[derive(Debug)]
+pub enum PreprocessError {
+    /// DataFrame-layer failure.
+    DataFrame(DfError),
+    /// Raster-layer failure.
+    Raster(RasterError),
+    /// Pipeline-specific invalid input.
+    InvalidInput(String),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::DataFrame(e) => write!(f, "dataframe error: {e}"),
+            PreprocessError::Raster(e) => write!(f, "raster error: {e}"),
+            PreprocessError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+impl From<DfError> for PreprocessError {
+    fn from(e: DfError) -> Self {
+        PreprocessError::DataFrame(e)
+    }
+}
+
+impl From<RasterError> for PreprocessError {
+    fn from(e: RasterError) -> Self {
+        PreprocessError::Raster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PreprocessError = DfError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found"));
+        let e: PreprocessError = RasterError::InvalidArgument("bad".into()).into();
+        assert!(e.to_string().contains("raster error"));
+        assert!(PreprocessError::InvalidInput("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Batch raster processing (`geotorchai.preprocessing.raster`).
+//!
+//! Reproduces the paper's Listing 9: load a directory of raster images,
+//! apply a transformation chain to every image in parallel, and write the
+//! results back. Pre-transforming offline with this module (instead of
+//! on the fly during training) is the Limitation-4 optimisation that
+//! Table VIII quantifies.
+
+use std::path::{Path, PathBuf};
+
+use geotorch_dataframe::exec;
+use geotorch_raster::gtiff;
+use geotorch_raster::transforms::RasterTransform;
+use geotorch_raster::Raster;
+
+use crate::error::{PreprocessError, PreprocessResult};
+
+/// An in-memory batch of rasters with their source names — the analogue
+/// of the paper's raster DataFrame.
+#[derive(Debug, Clone, Default)]
+pub struct RasterBatch {
+    /// Image payloads.
+    pub rasters: Vec<Raster>,
+    /// Source names (file stems), aligned with `rasters`.
+    pub names: Vec<String>,
+}
+
+impl RasterBatch {
+    /// Batch from rasters with generated names.
+    pub fn from_rasters(rasters: Vec<Raster>) -> RasterBatch {
+        let names = (0..rasters.len()).map(|i| format!("raster_{i}")).collect();
+        RasterBatch { rasters, names }
+    }
+
+    /// Image count.
+    pub fn len(&self) -> usize {
+        self.rasters.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rasters.is_empty()
+    }
+}
+
+/// Batch raster-processing entry points.
+pub struct RasterProcessing;
+
+impl RasterProcessing {
+    /// Load every `.gtrf` file in a directory (sorted by name) —
+    /// the paper's `load_geotiff_image`.
+    pub fn load_geotiff_images(dir: impl AsRef<Path>) -> PreprocessResult<RasterBatch> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())
+            .map_err(|e| PreprocessError::Raster(e.into()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "gtrf"))
+            .collect();
+        paths.sort();
+        let mut batch = RasterBatch::default();
+        for path in paths {
+            batch.rasters.push(gtiff::read_file(&path)?);
+            batch.names.push(
+                path.file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+            );
+        }
+        Ok(batch)
+    }
+
+    /// Apply a transform to every image in parallel over the worker pool.
+    pub fn transform(
+        batch: &RasterBatch,
+        transform: &(impl RasterTransform + ?Sized),
+    ) -> PreprocessResult<RasterBatch> {
+        let results: Vec<PreprocessResult<Raster>> =
+            exec::par_map(&batch.rasters, |r| Ok(transform.apply(r)?));
+        let rasters = results.into_iter().collect::<PreprocessResult<Vec<_>>>()?;
+        Ok(RasterBatch {
+            rasters,
+            names: batch.names.clone(),
+        })
+    }
+
+    /// Write every image as `<dir>/<name>.gtrf` — the paper's
+    /// `write_geotiff_image`.
+    pub fn write_geotiff_images(
+        batch: &RasterBatch,
+        dir: impl AsRef<Path>,
+    ) -> PreprocessResult<()> {
+        std::fs::create_dir_all(dir.as_ref()).map_err(|e| PreprocessError::Raster(e.into()))?;
+        for (raster, name) in batch.rasters.iter().zip(&batch.names) {
+            let path = dir.as_ref().join(format!("{name}.gtrf"));
+            gtiff::write_file(raster, &path)?;
+        }
+        Ok(())
+    }
+
+    /// The full Listing-9 pipeline: load → transform → write.
+    pub fn process_directory(
+        input_dir: impl AsRef<Path>,
+        output_dir: impl AsRef<Path>,
+        transform: &(impl RasterTransform + ?Sized),
+    ) -> PreprocessResult<usize> {
+        let batch = Self::load_geotiff_images(input_dir)?;
+        let transformed = Self::transform(&batch, transform)?;
+        Self::write_geotiff_images(&transformed, output_dir)?;
+        Ok(transformed.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotorch_raster::transforms::{
+        AppendNormalizedDifferenceIndex, Compose, NormalizeAll,
+    };
+
+    fn sample_batch(n: usize) -> RasterBatch {
+        let rasters = (0..n)
+            .map(|i| {
+                Raster::new(
+                    (0..2 * 4 * 4).map(|v| (v + i) as f32).collect(),
+                    2,
+                    4,
+                    4,
+                )
+                .unwrap()
+            })
+            .collect();
+        RasterBatch::from_rasters(rasters)
+    }
+
+    #[test]
+    fn transform_applies_to_every_image() {
+        let batch = sample_batch(5);
+        let out = RasterProcessing::transform(&batch, &AppendNormalizedDifferenceIndex::new(0, 1))
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.rasters.iter().all(|r| r.bands() == 3));
+        // Input untouched.
+        assert!(batch.rasters.iter().all(|r| r.bands() == 2));
+    }
+
+    #[test]
+    fn transform_error_propagates() {
+        let batch = sample_batch(2);
+        let bad = AppendNormalizedDifferenceIndex::new(0, 9);
+        assert!(RasterProcessing::transform(&batch, &bad).is_err());
+    }
+
+    #[test]
+    fn directory_pipeline_round_trips() {
+        let base = std::env::temp_dir().join(format!("geotorch_rp_{}", std::process::id()));
+        let input = base.join("in");
+        let output = base.join("out");
+        std::fs::create_dir_all(&input).unwrap();
+        let batch = sample_batch(3);
+        RasterProcessing::write_geotiff_images(&batch, &input).unwrap();
+
+        let chain = Compose::new()
+            .add(AppendNormalizedDifferenceIndex::new(0, 1))
+            .add(NormalizeAll);
+        let n = RasterProcessing::process_directory(&input, &output, &chain).unwrap();
+        assert_eq!(n, 3);
+
+        let reloaded = RasterProcessing::load_geotiff_images(&output).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert!(reloaded.rasters.iter().all(|r| r.bands() == 3));
+        // Normalised: every band within [0, 1].
+        for r in &reloaded.rasters {
+            for b in 0..r.bands() {
+                let band = r.band(b).unwrap();
+                assert!(band.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn load_missing_directory_errors() {
+        assert!(RasterProcessing::load_geotiff_images("/nonexistent/dir").is_err());
+    }
+
+    #[test]
+    fn names_align_after_round_trip() {
+        let base = std::env::temp_dir().join(format!("geotorch_rp_names_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let mut batch = sample_batch(2);
+        batch.names = vec!["alpha".into(), "beta".into()];
+        RasterProcessing::write_geotiff_images(&batch, &base).unwrap();
+        let reloaded = RasterProcessing::load_geotiff_images(&base).unwrap();
+        assert_eq!(reloaded.names, vec!["alpha", "beta"]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

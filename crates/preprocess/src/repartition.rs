@@ -1,0 +1,151 @@
+//! Grid re-partitioning: coarsening spatiotemporal tensors to reduce
+//! data volume and training time (the paper's §III-B1 pointer to its
+//! ML-aware re-partitioning work).
+//!
+//! Coarsening merges blocks of neighbouring cells (summing counts) or
+//! consecutive time slots, producing a smaller tensor that trains faster
+//! at lower spatial/temporal resolution.
+
+use geotorch_tensor::Tensor;
+
+use crate::error::{PreprocessError, PreprocessResult};
+
+/// Merge `factor × factor` blocks of grid cells by summation:
+/// `[T, H, W, C] → [T, H/factor, W/factor, C]`.
+///
+/// # Errors
+/// If the tensor is not 4-D or the spatial extents are not divisible by
+/// `factor`.
+pub fn coarsen_space(tensor: &Tensor, factor: usize) -> PreprocessResult<Tensor> {
+    if factor == 0 {
+        return Err(PreprocessError::InvalidInput("factor must be positive".into()));
+    }
+    if tensor.ndim() != 4 {
+        return Err(PreprocessError::InvalidInput(format!(
+            "expected [T,H,W,C], got {:?}",
+            tensor.shape()
+        )));
+    }
+    let (t, h, w, c) = (
+        tensor.shape()[0],
+        tensor.shape()[1],
+        tensor.shape()[2],
+        tensor.shape()[3],
+    );
+    if h % factor != 0 || w % factor != 0 {
+        return Err(PreprocessError::InvalidInput(format!(
+            "grid {h}x{w} not divisible by factor {factor}"
+        )));
+    }
+    if factor == 1 {
+        return Ok(tensor.clone());
+    }
+    let (oh, ow) = (h / factor, w / factor);
+    let src = tensor.as_slice();
+    let mut out = vec![0.0f32; t * oh * ow * c];
+    for ti in 0..t {
+        for r in 0..h {
+            for col in 0..w {
+                for ch in 0..c {
+                    let v = src[((ti * h + r) * w + col) * c + ch];
+                    out[((ti * oh + r / factor) * ow + col / factor) * c + ch] += v;
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[t, oh, ow, c]))
+}
+
+/// Merge `factor` consecutive time slots by summation:
+/// `[T, H, W, C] → [T/factor, H, W, C]` (trailing remainder dropped).
+pub fn coarsen_time(tensor: &Tensor, factor: usize) -> PreprocessResult<Tensor> {
+    if factor == 0 {
+        return Err(PreprocessError::InvalidInput("factor must be positive".into()));
+    }
+    if tensor.ndim() != 4 {
+        return Err(PreprocessError::InvalidInput(format!(
+            "expected [T,H,W,C], got {:?}",
+            tensor.shape()
+        )));
+    }
+    if factor == 1 {
+        return Ok(tensor.clone());
+    }
+    let (t, h, w, c) = (
+        tensor.shape()[0],
+        tensor.shape()[1],
+        tensor.shape()[2],
+        tensor.shape()[3],
+    );
+    let ot = t / factor;
+    if ot == 0 {
+        return Err(PreprocessError::InvalidInput(format!(
+            "{t} steps cannot be coarsened by {factor}"
+        )));
+    }
+    let frame = h * w * c;
+    let src = tensor.as_slice();
+    let mut out = vec![0.0f32; ot * frame];
+    for oti in 0..ot {
+        for k in 0..factor {
+            let base = (oti * factor + k) * frame;
+            let dst = &mut out[oti * frame..(oti + 1) * frame];
+            for (d, &v) in dst.iter_mut().zip(&src[base..base + frame]) {
+                *d += v;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[ot, h, w, c]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> Tensor {
+        // [2, 4, 4, 1] with value = flat index, easy to check sums.
+        Tensor::arange(2 * 4 * 4).reshape(&[2, 4, 4, 1])
+    }
+
+    #[test]
+    fn coarsen_space_sums_blocks() {
+        let out = coarsen_space(&tensor(), 2).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 2, 1]);
+        // Top-left 2x2 block of frame 0: values 0,1,4,5.
+        assert_eq!(out.at(&[0, 0, 0, 0]), 10.0);
+        // Mass conserved.
+        assert_eq!(out.sum(), tensor().sum());
+    }
+
+    #[test]
+    fn coarsen_time_sums_slots() {
+        let out = coarsen_time(&tensor(), 2).unwrap();
+        assert_eq!(out.shape(), &[1, 4, 4, 1]);
+        assert_eq!(out.sum(), tensor().sum());
+        assert_eq!(out.at(&[0, 0, 0, 0]), 0.0 + 16.0);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        assert_eq!(coarsen_space(&tensor(), 1).unwrap(), tensor());
+        assert_eq!(coarsen_time(&tensor(), 1).unwrap(), tensor());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(coarsen_space(&tensor(), 0).is_err());
+        assert!(coarsen_space(&tensor(), 3).is_err()); // 4 % 3 != 0
+        assert!(coarsen_time(&tensor(), 5).is_err()); // 2 / 5 == 0
+        let flat = Tensor::zeros(&[4, 4]);
+        assert!(coarsen_space(&flat, 2).is_err());
+        assert!(coarsen_time(&flat, 2).is_err());
+    }
+
+    #[test]
+    fn time_coarsening_drops_remainder() {
+        let t = Tensor::ones(&[5, 2, 2, 1]);
+        let out = coarsen_time(&t, 2).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 2, 1]);
+        assert_eq!(out.sum(), 16.0); // 4 of 5 frames kept
+    }
+}

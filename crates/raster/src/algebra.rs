@@ -1,0 +1,248 @@
+//! Map-algebra operations on raster bands (§III-B2 of the paper).
+//!
+//! Covers the operation families GeoTorchAI added to Apache Sedona:
+//! normalized-difference indices, per-band statistics (mean/mode), band
+//! arithmetic (add/subtract/multiply/divide), square root and modulo, and
+//! bitwise logical operations on quantised bands.
+
+use crate::error::{RasterError, RasterResult};
+use crate::raster::Raster;
+
+/// Normalized difference of two bands: `(b1 - b2) / (b1 + b2)`, with 0
+/// where the denominator vanishes. This is the generic form behind NDVI,
+/// NDWI, NDBI, and friends.
+pub fn normalized_difference(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    let a = r.band(band1)?;
+    let b = r.band(band2)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let denom = x + y;
+            if denom.abs() < f32::EPSILON {
+                0.0
+            } else {
+                (x - y) / denom
+            }
+        })
+        .collect())
+}
+
+/// NDVI (vegetation): normalized difference of NIR and red bands.
+pub fn ndvi(r: &Raster, nir: usize, red: usize) -> RasterResult<Vec<f32>> {
+    normalized_difference(r, nir, red)
+}
+
+/// NDWI (water): normalized difference of green and NIR bands.
+pub fn ndwi(r: &Raster, green: usize, nir: usize) -> RasterResult<Vec<f32>> {
+    normalized_difference(r, green, nir)
+}
+
+/// NDBI (built-up): normalized difference of SWIR and NIR bands.
+pub fn ndbi(r: &Raster, swir: usize, nir: usize) -> RasterResult<Vec<f32>> {
+    normalized_difference(r, swir, nir)
+}
+
+/// Mean of a band.
+pub fn band_mean(r: &Raster, band: usize) -> RasterResult<f32> {
+    let b = r.band(band)?;
+    Ok(b.iter().map(|&v| v as f64).sum::<f64>() as f32 / b.len() as f32)
+}
+
+/// Mode of a band after quantisation to `levels` equal bins over the
+/// band's value range. Returns the representative (bin-centre) value.
+pub fn band_mode(r: &Raster, band: usize, levels: usize) -> RasterResult<f32> {
+    if levels == 0 {
+        return Err(RasterError::InvalidArgument("levels must be positive".into()));
+    }
+    let b = r.band(band)?;
+    let (lo, hi) = value_range(b);
+    if (hi - lo).abs() < f32::EPSILON {
+        return Ok(lo);
+    }
+    let mut counts = vec![0usize; levels];
+    for &v in b {
+        let bin = (((v - lo) / (hi - lo)) * levels as f32) as usize;
+        counts[bin.min(levels - 1)] += 1;
+    }
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(lo + (best as f32 + 0.5) / levels as f32 * (hi - lo))
+}
+
+/// Elementwise combination of two bands.
+fn zip_bands(
+    r: &Raster,
+    band1: usize,
+    band2: usize,
+    f: impl Fn(f32, f32) -> f32,
+) -> RasterResult<Vec<f32>> {
+    let a = r.band(band1)?;
+    let b = r.band(band2)?;
+    Ok(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect())
+}
+
+/// Sum of two bands.
+pub fn add_bands(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| a + b)
+}
+
+/// Difference of two bands.
+pub fn subtract_bands(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| a - b)
+}
+
+/// Product of two bands.
+pub fn multiply_bands(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| a * b)
+}
+
+/// Quotient of two bands (0 where the divisor vanishes).
+pub fn divide_bands(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| if b.abs() < f32::EPSILON { 0.0 } else { a / b })
+}
+
+/// Square root of a band (negative samples clamp to 0).
+pub fn band_sqrt(r: &Raster, band: usize) -> RasterResult<Vec<f32>> {
+    Ok(r.band(band)?.iter().map(|&v| v.max(0.0).sqrt()).collect())
+}
+
+/// Elementwise modulo of a band by a scalar divisor.
+pub fn band_modulo(r: &Raster, band: usize, divisor: f32) -> RasterResult<Vec<f32>> {
+    if divisor.abs() < f32::EPSILON {
+        return Err(RasterError::InvalidArgument("modulo by zero".into()));
+    }
+    Ok(r.band(band)?.iter().map(|&v| v.rem_euclid(divisor)).collect())
+}
+
+/// Bitwise AND of two bands after rounding samples to `u32`.
+pub fn bitwise_and(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| {
+        ((a.max(0.0).round() as u32) & (b.max(0.0).round() as u32)) as f32
+    })
+}
+
+/// Bitwise OR of two bands after rounding samples to `u32`.
+pub fn bitwise_or(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
+    zip_bands(r, band1, band2, |a, b| {
+        ((a.max(0.0).round() as u32) | (b.max(0.0).round() as u32)) as f32
+    })
+}
+
+/// Min and max of a slice (0s for empty input).
+pub fn value_range(samples: &[f32]) -> (f32, f32) {
+    samples.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Min-max normalise a band into `[0, 1]` (constant bands map to 0).
+pub fn normalize_band(samples: &[f32]) -> Vec<f32> {
+    let (lo, hi) = value_range(samples);
+    let span = hi - lo;
+    if span.abs() < f32::EPSILON {
+        return vec![0.0; samples.len()];
+    }
+    samples.iter().map(|&v| (v - lo) / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Raster {
+        Raster::new(
+            vec![
+                2.0, 4.0, 6.0, 8.0, // band 0
+                1.0, 2.0, 3.0, 4.0, // band 1
+            ],
+            2,
+            2,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalized_difference_values() {
+        let nd = normalized_difference(&r(), 0, 1).unwrap();
+        // (2-1)/3, (4-2)/6, ...all = 1/3
+        for v in nd {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalized_difference_zero_denominator() {
+        let raster = Raster::new(vec![1.0, 0.0, -1.0, 0.0], 2, 1, 2).unwrap();
+        let nd = normalized_difference(&raster, 0, 1).unwrap();
+        assert_eq!(nd, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn named_indices_are_directional() {
+        // NDVI with strong NIR should be positive; NDWI then negative.
+        let raster = Raster::new(vec![0.8, 0.8, 0.1, 0.1, 0.2, 0.2], 3, 1, 2).unwrap();
+        assert!(ndvi(&raster, 0, 1).unwrap().iter().all(|&v| v > 0.0));
+        assert!(ndwi(&raster, 2, 0).unwrap().iter().all(|&v| v < 0.0));
+        assert!(ndbi(&raster, 1, 0).unwrap().iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn band_arithmetic() {
+        let raster = r();
+        assert_eq!(add_bands(&raster, 0, 1).unwrap(), vec![3.0, 6.0, 9.0, 12.0]);
+        assert_eq!(subtract_bands(&raster, 0, 1).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(multiply_bands(&raster, 0, 1).unwrap(), vec![2.0, 8.0, 18.0, 32.0]);
+        assert_eq!(divide_bands(&raster, 0, 1).unwrap(), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn divide_by_zero_band_is_zero() {
+        let raster = Raster::new(vec![5.0, 5.0, 0.0, 2.0], 2, 1, 2).unwrap();
+        assert_eq!(divide_bands(&raster, 0, 1).unwrap(), vec![0.0, 2.5]);
+    }
+
+    #[test]
+    fn sqrt_and_modulo() {
+        let raster = Raster::new(vec![4.0, 9.0, -1.0, 16.0], 1, 2, 2).unwrap();
+        assert_eq!(band_sqrt(&raster, 0).unwrap(), vec![2.0, 3.0, 0.0, 4.0]);
+        assert_eq!(band_modulo(&raster, 0, 5.0).unwrap(), vec![4.0, 4.0, 4.0, 1.0]);
+        assert!(band_modulo(&raster, 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let raster = Raster::new(vec![6.0, 12.0, 3.0, 10.0], 2, 1, 2).unwrap();
+        assert_eq!(bitwise_and(&raster, 0, 1).unwrap(), vec![2.0, 8.0]);
+        assert_eq!(bitwise_or(&raster, 0, 1).unwrap(), vec![7.0, 14.0]);
+    }
+
+    #[test]
+    fn mean_and_mode() {
+        let raster = Raster::new(vec![1.0, 1.0, 1.0, 9.0], 1, 2, 2).unwrap();
+        assert_eq!(band_mean(&raster, 0).unwrap(), 3.0);
+        // Mode bin should sit near 1.
+        let mode = band_mode(&raster, 0, 8).unwrap();
+        assert!(mode < 3.0, "mode {mode} should be near 1");
+        // Constant band: mode is the constant.
+        let flat = Raster::new(vec![5.0; 4], 1, 2, 2).unwrap();
+        assert_eq!(band_mode(&flat, 0, 4).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn normalize_band_range() {
+        let n = normalize_band(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+        assert_eq!(normalize_band(&[3.0, 3.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn errors_on_bad_band() {
+        assert!(normalized_difference(&r(), 0, 9).is_err());
+        assert!(band_mean(&r(), 9).is_err());
+    }
+}

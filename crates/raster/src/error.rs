@@ -1,0 +1,69 @@
+//! Error type for raster operations.
+
+use std::fmt;
+
+/// Result alias for raster operations.
+pub type RasterResult<T> = Result<T, RasterError>;
+
+/// Errors surfaced by raster processing.
+#[derive(Debug)]
+pub enum RasterError {
+    /// Band index outside `0..bands`.
+    BandOutOfRange {
+        /// Requested band.
+        band: usize,
+        /// Available band count.
+        bands: usize,
+    },
+    /// Two rasters (or bands) had incompatible dimensions.
+    DimensionMismatch(String),
+    /// Operation-specific invalid argument.
+    InvalidArgument(String),
+    /// Malformed GTRF container data.
+    Corrupt(String),
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasterError::BandOutOfRange { band, bands } => {
+                write!(f, "band {band} out of range (raster has {bands})")
+            }
+            RasterError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            RasterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RasterError::Corrupt(msg) => write!(f, "corrupt raster data: {msg}"),
+            RasterError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RasterError {}
+
+impl From<std::io::Error> for RasterError {
+    fn from(e: std::io::Error) -> Self {
+        RasterError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RasterError::BandOutOfRange { band: 5, bands: 3 };
+        assert_eq!(e.to_string(), "band 5 out of range (raster has 3)");
+        assert!(RasterError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RasterError = io.into();
+        assert!(matches!(e, RasterError::Io(_)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Gray-Level Co-occurrence Matrix texture features (Haralick features).
+//!
+//! DeepSAT V2 (the paper's §II-C) fuses handcrafted texture features into
+//! the CNN feature vector because CNNs cannot learn Haralick-style
+//! statistics on their own. This module extracts the six features the
+//! paper's evaluation uses: contrast, dissimilarity, homogeneity, ASM,
+//! energy, and correlation (plus "momentum", the paper's name for the
+//! angular second moment of order 2 — we expose it as an alias of ASM
+//! squared).
+
+use crate::error::{RasterError, RasterResult};
+
+/// Pixel-pair offset direction for co-occurrence counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlcmDirection {
+    /// Horizontal neighbour (0°): `(row, col+1)`.
+    East,
+    /// Vertical neighbour (90°): `(row+1, col)`.
+    South,
+    /// Diagonal neighbour (45°): `(row+1, col+1)`.
+    SouthEast,
+    /// Anti-diagonal neighbour (135°): `(row+1, col-1)`.
+    SouthWest,
+}
+
+impl GlcmDirection {
+    fn offset(self) -> (isize, isize) {
+        match self {
+            GlcmDirection::East => (0, 1),
+            GlcmDirection::South => (1, 0),
+            GlcmDirection::SouthEast => (1, 1),
+            GlcmDirection::SouthWest => (1, -1),
+        }
+    }
+}
+
+/// A normalised, symmetric co-occurrence matrix over quantised gray
+/// levels.
+#[derive(Debug, Clone)]
+pub struct Glcm {
+    probs: Vec<f64>,
+    levels: usize,
+}
+
+impl Glcm {
+    /// Quantise `samples` (an `height × width` band) to `levels` gray
+    /// levels and count co-occurring pairs along `direction`. The matrix
+    /// is symmetrised and normalised to probabilities.
+    pub fn compute(
+        samples: &[f32],
+        height: usize,
+        width: usize,
+        levels: usize,
+        direction: GlcmDirection,
+    ) -> RasterResult<Glcm> {
+        if samples.len() != height * width {
+            return Err(RasterError::DimensionMismatch(format!(
+                "{} samples do not fit {height}x{width}",
+                samples.len()
+            )));
+        }
+        if levels < 2 {
+            return Err(RasterError::InvalidArgument(
+                "GLCM needs at least 2 gray levels".into(),
+            ));
+        }
+        let quantised = quantise(samples, levels);
+        let (dr, dc) = direction.offset();
+        let mut counts = vec![0u64; levels * levels];
+        let mut total = 0u64;
+        for r in 0..height {
+            for c in 0..width {
+                let (nr, nc) = (r as isize + dr, c as isize + dc);
+                if nr < 0 || nc < 0 || nr >= height as isize || nc >= width as isize {
+                    continue;
+                }
+                let a = quantised[r * width + c];
+                let b = quantised[nr as usize * width + nc as usize];
+                counts[a * levels + b] += 1;
+                counts[b * levels + a] += 1; // symmetric
+                total += 2;
+            }
+        }
+        let probs = counts
+            .iter()
+            .map(|&c| if total > 0 { c as f64 / total as f64 } else { 0.0 })
+            .collect();
+        Ok(Glcm { probs, levels })
+    }
+
+    /// Direction-averaged GLCM: the mean of the co-occurrence matrices
+    /// over all four directions, the rotation-invariant form most texture
+    /// pipelines (including DeepSAT's) use.
+    pub fn compute_averaged(
+        samples: &[f32],
+        height: usize,
+        width: usize,
+        levels: usize,
+    ) -> RasterResult<Glcm> {
+        let directions = [
+            GlcmDirection::East,
+            GlcmDirection::South,
+            GlcmDirection::SouthEast,
+            GlcmDirection::SouthWest,
+        ];
+        let mut probs = vec![0.0f64; levels * levels];
+        for direction in directions {
+            let g = Glcm::compute(samples, height, width, levels, direction)?;
+            for (acc, p) in probs.iter_mut().zip(&g.probs) {
+                *acc += p / directions.len() as f64;
+            }
+        }
+        Ok(Glcm { probs, levels })
+    }
+
+    /// Probability of the (i, j) gray-level pair.
+    pub fn p(&self, i: usize, j: usize) -> f64 {
+        self.probs[i * self.levels + j]
+    }
+
+    /// Number of gray levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Contrast: `Σ p(i,j) (i-j)²`.
+    pub fn contrast(&self) -> f64 {
+        self.weighted_sum(|i, j| ((i as f64) - (j as f64)).powi(2))
+    }
+
+    /// Dissimilarity: `Σ p(i,j) |i-j|`.
+    pub fn dissimilarity(&self) -> f64 {
+        self.weighted_sum(|i, j| ((i as f64) - (j as f64)).abs())
+    }
+
+    /// Homogeneity (inverse difference moment): `Σ p / (1 + (i-j)²)`.
+    pub fn homogeneity(&self) -> f64 {
+        self.weighted_sum_p(|p, i, j| p / (1.0 + ((i as f64) - (j as f64)).powi(2)))
+    }
+
+    /// Angular second moment: `Σ p²`.
+    pub fn asm(&self) -> f64 {
+        self.probs.iter().map(|&p| p * p).sum()
+    }
+
+    /// Energy: `sqrt(ASM)`.
+    pub fn energy(&self) -> f64 {
+        self.asm().sqrt()
+    }
+
+    /// "Momentum" — the paper's listed texture feature, the third-order
+    /// moment `Σ p³`.
+    pub fn momentum(&self) -> f64 {
+        self.probs.iter().map(|&p| p * p * p).sum()
+    }
+
+    /// Correlation: `Σ p (i-μ)(j-μ) / σ²` (symmetric matrix, so means and
+    /// variances coincide along both axes). Returns 0 for zero variance.
+    pub fn correlation(&self) -> f64 {
+        let mut mean = 0.0;
+        for i in 0..self.levels {
+            for j in 0..self.levels {
+                mean += i as f64 * self.p(i, j);
+            }
+        }
+        let mut var = 0.0;
+        for i in 0..self.levels {
+            for j in 0..self.levels {
+                var += (i as f64 - mean).powi(2) * self.p(i, j);
+            }
+        }
+        if var < 1e-12 {
+            return 0.0;
+        }
+        let mut corr = 0.0;
+        for i in 0..self.levels {
+            for j in 0..self.levels {
+                corr += self.p(i, j) * (i as f64 - mean) * (j as f64 - mean);
+            }
+        }
+        corr / var
+    }
+
+    /// The six texture features in the paper's order:
+    /// contrast, dissimilarity, correlation, homogeneity, momentum, energy.
+    pub fn feature_vector(&self) -> [f64; 6] {
+        [
+            self.contrast(),
+            self.dissimilarity(),
+            self.correlation(),
+            self.homogeneity(),
+            self.momentum(),
+            self.energy(),
+        ]
+    }
+
+    fn weighted_sum(&self, w: impl Fn(usize, usize) -> f64) -> f64 {
+        self.weighted_sum_p(|p, i, j| p * w(i, j))
+    }
+
+    fn weighted_sum_p(&self, f: impl Fn(f64, usize, usize) -> f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.levels {
+            for j in 0..self.levels {
+                acc += f(self.p(i, j), i, j);
+            }
+        }
+        acc
+    }
+}
+
+fn quantise(samples: &[f32], levels: usize) -> Vec<usize> {
+    let (lo, hi) = crate::algebra::value_range(samples);
+    let span = hi - lo;
+    if span.abs() < f32::EPSILON {
+        return vec![0; samples.len()];
+    }
+    samples
+        .iter()
+        .map(|&v| ((((v - lo) / span) * levels as f32) as usize).min(levels - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_image_is_maximally_homogeneous() {
+        let g = Glcm::compute(&[5.0; 16], 4, 4, 8, GlcmDirection::East).unwrap();
+        assert_eq!(g.contrast(), 0.0);
+        assert_eq!(g.dissimilarity(), 0.0);
+        assert!((g.homogeneity() - 1.0).abs() < 1e-9);
+        assert!((g.asm() - 1.0).abs() < 1e-9);
+        assert!((g.energy() - 1.0).abs() < 1e-9);
+        assert_eq!(g.correlation(), 0.0); // zero variance convention
+    }
+
+    #[test]
+    fn checkerboard_has_high_contrast() {
+        // 4x4 checkerboard of 0/1.
+        let mut img = vec![0.0f32; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                img[r * 4 + c] = ((r + c) % 2) as f32;
+            }
+        }
+        let g = Glcm::compute(&img, 4, 4, 2, GlcmDirection::East).unwrap();
+        // Every horizontal pair differs: contrast = 1, homogeneity = 0.5.
+        assert!((g.contrast() - 1.0).abs() < 1e-9);
+        assert!((g.dissimilarity() - 1.0).abs() < 1e-9);
+        assert!((g.homogeneity() - 0.5).abs() < 1e-9);
+        // Perfect anti-correlation along east pairs.
+        assert!(g.correlation() < -0.9);
+    }
+
+    #[test]
+    fn horizontal_stripes_direction_sensitivity() {
+        // Rows alternate 0 and 1: east pairs are equal, south pairs differ.
+        let mut img = vec![0.0f32; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                img[r * 4 + c] = (r % 2) as f32;
+            }
+        }
+        let east = Glcm::compute(&img, 4, 4, 2, GlcmDirection::East).unwrap();
+        let south = Glcm::compute(&img, 4, 4, 2, GlcmDirection::South).unwrap();
+        assert_eq!(east.contrast(), 0.0);
+        assert!(south.contrast() > 0.9);
+    }
+
+    #[test]
+    fn matrix_is_normalised_and_symmetric() {
+        let img: Vec<f32> = (0..36).map(|i| (i % 7) as f32).collect();
+        let g = Glcm::compute(&img, 6, 6, 4, GlcmDirection::SouthEast).unwrap();
+        let total: f64 = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| g.p(i, j))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((g.p(i, j) - g.p(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_vector_ordering() {
+        let img: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let g = Glcm::compute(&img, 4, 4, 4, GlcmDirection::East).unwrap();
+        let f = g.feature_vector();
+        assert_eq!(f[0], g.contrast());
+        assert_eq!(f[2], g.correlation());
+        assert_eq!(f[5], g.energy());
+        // Smooth gradient: strongly positively correlated neighbours.
+        assert!(g.correlation() > 0.5);
+    }
+
+    #[test]
+    fn averaged_glcm_is_rotation_fair() {
+        // Horizontal stripes: single directions disagree wildly; the
+        // averaged matrix blends them and stays a valid distribution.
+        let mut img = vec![0.0f32; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                img[r * 4 + c] = (r % 2) as f32;
+            }
+        }
+        let avg = Glcm::compute_averaged(&img, 4, 4, 2).unwrap();
+        let east = Glcm::compute(&img, 4, 4, 2, GlcmDirection::East).unwrap();
+        let south = Glcm::compute(&img, 4, 4, 2, GlcmDirection::South).unwrap();
+        assert!(avg.contrast() > east.contrast());
+        assert!(avg.contrast() < south.contrast());
+        let total: f64 = (0..2).flat_map(|i| (0..2).map(move |j| (i, j)))
+            .map(|(i, j)| avg.p(i, j)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Glcm::compute(&[0.0; 5], 2, 3, 4, GlcmDirection::East).is_err());
+        assert!(Glcm::compute(&[0.0; 6], 2, 3, 1, GlcmDirection::East).is_err());
+    }
+
+    #[test]
+    fn southwest_direction_counts_antidiagonal() {
+        let img = vec![0.0, 1.0, 1.0, 0.0];
+        let g = Glcm::compute(&img, 2, 2, 2, GlcmDirection::SouthWest).unwrap();
+        // Only pair: (0,1)->(1,0): values 1.0 and 1.0 → equal pair.
+        assert_eq!(g.contrast(), 0.0);
+        assert!((g.p(1, 1) - 1.0).abs() < 1e-9);
+    }
+}

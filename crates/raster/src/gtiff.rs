@@ -1,0 +1,219 @@
+//! GTRF: a compact binary multi-band raster container.
+//!
+//! The paper's preprocessing module reads and writes GeoTIFF through
+//! Apache Sedona. This reproduction uses GTRF, a minimal container with
+//! the same responsibilities — multi-band f32 samples, georeferencing
+//! (affine transform + EPSG code), and integrity checking — so the
+//! load → transform → write pipeline (Listing 9) exercises the same code
+//! path without a TIFF dependency.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 4]  = b"GTRF"
+//! version u16      = 1
+//! epsg    u32
+//! bands   u32
+//! height  u32
+//! width   u32
+//! transform [f64; 4]  (origin_x, origin_y, pixel_width, pixel_height)
+//! checksum u64        FNV-1a over the sample section
+//! samples  [f32; bands*height*width]
+//! ```
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{RasterError, RasterResult};
+use crate::raster::{GeoTransform, Raster};
+
+const MAGIC: &[u8; 4] = b"GTRF";
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 4 + 2 + 4 + 4 + 4 + 4 + 32 + 8;
+
+/// Serialise a raster to the GTRF wire format.
+pub fn encode(raster: &Raster) -> Bytes {
+    let samples = raster.as_slice();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + samples.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(raster.epsg);
+    buf.put_u32_le(raster.bands() as u32);
+    buf.put_u32_le(raster.height() as u32);
+    buf.put_u32_le(raster.width() as u32);
+    buf.put_f64_le(raster.transform.origin_x);
+    buf.put_f64_le(raster.transform.origin_y);
+    buf.put_f64_le(raster.transform.pixel_width);
+    buf.put_f64_le(raster.transform.pixel_height);
+    let mut body = BytesMut::with_capacity(samples.len() * 4);
+    for &v in samples {
+        body.put_f32_le(v);
+    }
+    buf.put_u64_le(fnv1a(&body));
+    buf.extend_from_slice(&body);
+    buf.freeze()
+}
+
+/// Parse a raster from GTRF bytes, verifying magic, version, dimensions,
+/// and the sample checksum.
+pub fn decode(data: &[u8]) -> RasterResult<Raster> {
+    if data.len() < HEADER_LEN {
+        return Err(RasterError::Corrupt(format!(
+            "truncated header: {} bytes",
+            data.len()
+        )));
+    }
+    let mut buf = data;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(RasterError::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(RasterError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let epsg = buf.get_u32_le();
+    let bands = buf.get_u32_le() as usize;
+    let height = buf.get_u32_le() as usize;
+    let width = buf.get_u32_le() as usize;
+    let transform = GeoTransform {
+        origin_x: buf.get_f64_le(),
+        origin_y: buf.get_f64_le(),
+        pixel_width: buf.get_f64_le(),
+        pixel_height: buf.get_f64_le(),
+    };
+    let checksum = buf.get_u64_le();
+    let expected = bands
+        .checked_mul(height)
+        .and_then(|v| v.checked_mul(width))
+        .and_then(|v| v.checked_mul(4))
+        .ok_or_else(|| RasterError::Corrupt("dimension overflow".into()))?;
+    if buf.remaining() != expected {
+        return Err(RasterError::Corrupt(format!(
+            "sample section has {} bytes, header implies {}",
+            buf.remaining(),
+            expected
+        )));
+    }
+    if fnv1a(buf) != checksum {
+        return Err(RasterError::Corrupt("checksum mismatch".into()));
+    }
+    let mut samples = Vec::with_capacity(bands * height * width);
+    let mut body = buf;
+    while body.remaining() >= 4 {
+        samples.push(body.get_f32_le());
+    }
+    let mut raster = Raster::new(samples, bands, height, width)?;
+    raster.transform = transform;
+    raster.epsg = epsg;
+    Ok(raster)
+}
+
+/// Write a raster to a GTRF file.
+pub fn write_file(raster: &Raster, path: impl AsRef<Path>) -> RasterResult<()> {
+    std::fs::write(path, encode(raster))?;
+    Ok(())
+}
+
+/// Read a raster from a GTRF file.
+pub fn read_file(path: impl AsRef<Path>) -> RasterResult<Raster> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Raster {
+        let mut r = Raster::new((0..24).map(|v| v as f32 * 0.5).collect(), 2, 3, 4).unwrap();
+        r.epsg = 4326;
+        r.transform = GeoTransform {
+            origin_x: -74.05,
+            origin_y: 40.9,
+            pixel_width: 0.01,
+            pixel_height: 0.01,
+        };
+        r
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = sample();
+        let bytes = encode(&r);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.epsg, 4326);
+        assert_eq!(back.transform, r.transform);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("geotorch_gtrf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.gtrf");
+        let r = sample();
+        write_file(&r, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(RasterError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(decode(&bytes), Err(RasterError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let bytes = encode(&sample());
+        let cut = &bytes[..bytes.len() - 4];
+        assert!(matches!(decode(cut), Err(RasterError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(matches!(decode(&[0u8; 10]), Err(RasterError::Corrupt(_))));
+    }
+
+    #[test]
+    fn detects_flipped_sample_bits() {
+        let mut bytes = encode(&sample()).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match decode(&bytes) {
+            Err(RasterError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_file("/nonexistent/raster.gtrf"),
+            Err(RasterError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! # geotorch-raster
+//!
+//! Multi-band raster imagery support for GeoTorch-RS: the raster data
+//! model, map-algebra operations, transformation operations, GLCM texture
+//! features, and a compact on-disk raster container (GTRF) standing in for
+//! GeoTIFF.
+//!
+//! This crate reproduces the raster side of GeoTorchAI's preprocessing and
+//! transforms modules (§III-A3 and §III-B2 of the paper): normalising
+//! bands, appending normalized-difference indices (NDVI, NDWI, …),
+//! inserting/deleting/masking bands, extracting spectral and GLCM texture
+//! features for DeepSAT-style feature fusion, and reading/writing raster
+//! files.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod error;
+pub mod glcm;
+pub mod gtiff;
+pub mod raster;
+pub mod transforms;
+
+pub use error::{RasterError, RasterResult};
+pub use raster::{GeoTransform, Raster};

@@ -1,0 +1,357 @@
+//! Raster transformation operations (the `geotorchai.transforms.raster`
+//! package of the paper, Listing 7).
+//!
+//! Each operation implements [`RasterTransform`] and can be chained with
+//! [`Compose`], mirroring `torchvision.transforms.Compose`. Transforms are
+//! pure (`Raster → Raster`) so they are usable both on-the-fly during
+//! training and offline in the preprocessing module — the distinction
+//! Table VIII of the paper benchmarks.
+
+use crate::algebra::{normalize_band, normalized_difference};
+use crate::error::{RasterError, RasterResult};
+use crate::raster::Raster;
+
+/// A pure raster-to-raster operation.
+pub trait RasterTransform: Send + Sync {
+    /// Apply the transform.
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster>;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Append the normalized difference of two bands as a new last band
+/// (Listing 7's `AppendNormalizedDifferenceIndex`).
+pub struct AppendNormalizedDifferenceIndex {
+    band1: usize,
+    band2: usize,
+}
+
+impl AppendNormalizedDifferenceIndex {
+    /// Index of the two source bands.
+    pub fn new(band1: usize, band2: usize) -> Self {
+        AppendNormalizedDifferenceIndex { band1, band2 }
+    }
+}
+
+impl RasterTransform for AppendNormalizedDifferenceIndex {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let nd = normalized_difference(raster, self.band1, self.band2)?;
+        let mut out = raster.clone();
+        out.push_band(&nd)?;
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "AppendNormalizedDifferenceIndex"
+    }
+}
+
+/// Min-max normalise one band into `[0, 1]`.
+pub struct NormalizeBand {
+    band: usize,
+}
+
+impl NormalizeBand {
+    /// Band to normalise.
+    pub fn new(band: usize) -> Self {
+        NormalizeBand { band }
+    }
+}
+
+impl RasterTransform for NormalizeBand {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let normalised = normalize_band(raster.band(self.band)?);
+        let mut out = raster.clone();
+        out.band_mut(self.band)?.copy_from_slice(&normalised);
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "NormalizeBand"
+    }
+}
+
+/// Min-max normalise every band independently.
+pub struct NormalizeAll;
+
+impl RasterTransform for NormalizeAll {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut out = raster.clone();
+        for b in 0..raster.bands() {
+            let normalised = normalize_band(raster.band(b)?);
+            out.band_mut(b)?.copy_from_slice(&normalised);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "NormalizeAll"
+    }
+}
+
+/// Remove a band.
+pub struct DeleteBand {
+    band: usize,
+}
+
+impl DeleteBand {
+    /// Band to remove.
+    pub fn new(band: usize) -> Self {
+        DeleteBand { band }
+    }
+}
+
+impl RasterTransform for DeleteBand {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut out = raster.clone();
+        out.remove_band(self.band)?;
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "DeleteBand"
+    }
+}
+
+/// Insert a constant-valued band at an index.
+pub struct InsertConstantBand {
+    at: usize,
+    value: f32,
+}
+
+impl InsertConstantBand {
+    /// Insert before band `at` with every sample equal to `value`.
+    pub fn new(at: usize, value: f32) -> Self {
+        InsertConstantBand { at, value }
+    }
+}
+
+impl RasterTransform for InsertConstantBand {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut out = raster.clone();
+        let band = vec![self.value; raster.band_len()];
+        out.insert_band(self.at, &band)?;
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "InsertConstantBand"
+    }
+}
+
+/// Threshold masking: samples of a band outside the kept side of the
+/// threshold are replaced with `fill`.
+pub struct MaskOnThreshold {
+    band: usize,
+    threshold: f32,
+    keep_above: bool,
+    fill: f32,
+}
+
+impl MaskOnThreshold {
+    /// Keep samples `> threshold` (when `keep_above`) or `< threshold`;
+    /// others become `fill`.
+    pub fn new(band: usize, threshold: f32, keep_above: bool, fill: f32) -> Self {
+        MaskOnThreshold {
+            band,
+            threshold,
+            keep_above,
+            fill,
+        }
+    }
+}
+
+impl RasterTransform for MaskOnThreshold {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut out = raster.clone();
+        let threshold = self.threshold;
+        let keep_above = self.keep_above;
+        let fill = self.fill;
+        for v in out.band_mut(self.band)? {
+            let keep = if keep_above { *v > threshold } else { *v < threshold };
+            if !keep {
+                *v = fill;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaskOnThreshold"
+    }
+}
+
+/// Append the ratio of two bands (`b1 / b2`, 0 on zero denominator) as a
+/// new band.
+pub struct AppendRatioIndex {
+    band1: usize,
+    band2: usize,
+}
+
+impl AppendRatioIndex {
+    /// Numerator and denominator bands.
+    pub fn new(band1: usize, band2: usize) -> Self {
+        AppendRatioIndex { band1, band2 }
+    }
+}
+
+impl RasterTransform for AppendRatioIndex {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let ratio = crate::algebra::divide_bands(raster, self.band1, self.band2)?;
+        let mut out = raster.clone();
+        out.push_band(&ratio)?;
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "AppendRatioIndex"
+    }
+}
+
+/// A chain of transforms applied left to right
+/// (`torchvision.transforms.Compose`).
+#[derive(Default)]
+pub struct Compose {
+    transforms: Vec<Box<dyn RasterTransform>>,
+}
+
+impl Compose {
+    /// An empty chain (identity).
+    pub fn new() -> Self {
+        Compose {
+            transforms: Vec::new(),
+        }
+    }
+
+    /// Append a transform (builder style).
+    #[allow(clippy::should_implement_trait)] // builder-style append, not arithmetic
+    pub fn add(mut self, t: impl RasterTransform + 'static) -> Self {
+        self.transforms.push(Box::new(t));
+        self
+    }
+
+    /// Number of chained transforms.
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+}
+
+impl RasterTransform for Compose {
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut current = raster.clone();
+        for t in &self.transforms {
+            current = t.apply(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn name(&self) -> &'static str {
+        "Compose"
+    }
+}
+
+/// Validate a band index against a raster (helper for callers building
+/// transform chains from user input).
+pub fn check_band(raster: &Raster, band: usize) -> RasterResult<()> {
+    if band >= raster.bands() {
+        Err(RasterError::BandOutOfRange {
+            band,
+            bands: raster.bands(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Raster {
+        Raster::new(
+            vec![
+                2.0, 4.0, 6.0, 8.0, // band 0
+                1.0, 2.0, 3.0, 4.0, // band 1
+            ],
+            2,
+            2,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_ndi_adds_band() {
+        let out = AppendNormalizedDifferenceIndex::new(0, 1).apply(&r()).unwrap();
+        assert_eq!(out.bands(), 3);
+        assert!((out.get(2, 0, 0).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        // Source raster untouched.
+        assert_eq!(r().bands(), 2);
+    }
+
+    #[test]
+    fn normalize_band_and_all() {
+        let out = NormalizeBand::new(0).apply(&r()).unwrap();
+        assert_eq!(out.band(0).unwrap(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+        assert_eq!(out.band(1).unwrap(), r().band(1).unwrap());
+        let all = NormalizeAll.apply(&r()).unwrap();
+        assert_eq!(all.band(1).unwrap(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn delete_and_insert() {
+        let out = DeleteBand::new(0).apply(&r()).unwrap();
+        assert_eq!(out.bands(), 1);
+        assert_eq!(out.get(0, 0, 0).unwrap(), 1.0);
+        let ins = InsertConstantBand::new(1, 9.0).apply(&r()).unwrap();
+        assert_eq!(ins.bands(), 3);
+        assert_eq!(ins.get(1, 1, 1).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn mask_threshold_both_directions() {
+        let above = MaskOnThreshold::new(0, 5.0, true, 0.0).apply(&r()).unwrap();
+        assert_eq!(above.band(0).unwrap(), &[0.0, 0.0, 6.0, 8.0]);
+        let below = MaskOnThreshold::new(0, 5.0, false, -1.0).apply(&r()).unwrap();
+        assert_eq!(below.band(0).unwrap(), &[2.0, 4.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn ratio_index() {
+        let out = AppendRatioIndex::new(0, 1).apply(&r()).unwrap();
+        assert_eq!(out.band(2).unwrap(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn compose_chains_in_order() {
+        let chain = Compose::new()
+            .add(AppendNormalizedDifferenceIndex::new(0, 1))
+            .add(DeleteBand::new(0))
+            .add(NormalizeAll);
+        assert_eq!(chain.len(), 3);
+        let out = chain.apply(&r()).unwrap();
+        // 2 bands: old band 1 (normalised) and the NDI band (constant → 0).
+        assert_eq!(out.bands(), 2);
+        assert_eq!(out.band(1).unwrap(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn empty_compose_is_identity() {
+        let out = Compose::new().apply(&r()).unwrap();
+        assert_eq!(out, r());
+    }
+
+    #[test]
+    fn transform_errors_propagate() {
+        assert!(AppendNormalizedDifferenceIndex::new(0, 9).apply(&r()).is_err());
+        assert!(DeleteBand::new(9).apply(&r()).is_err());
+        assert!(check_band(&r(), 2).is_err());
+        assert!(check_band(&r(), 1).is_ok());
+    }
+}

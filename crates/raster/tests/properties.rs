@@ -1,0 +1,129 @@
+//! Property-based tests for raster invariants.
+
+use proptest::prelude::*;
+
+use geotorch_raster::algebra::{
+    add_bands, divide_bands, multiply_bands, normalize_band, normalized_difference,
+    subtract_bands,
+};
+use geotorch_raster::glcm::{Glcm, GlcmDirection};
+use geotorch_raster::gtiff;
+use geotorch_raster::transforms::{
+    AppendNormalizedDifferenceIndex, Compose, DeleteBand, NormalizeAll, RasterTransform,
+};
+use geotorch_raster::{GeoTransform, Raster};
+
+fn raster_strategy(max_bands: usize, max_side: usize) -> impl Strategy<Value = Raster> {
+    (1..=max_bands, 1..=max_side, 1..=max_side).prop_flat_map(|(b, h, w)| {
+        prop::collection::vec(-10.0f32..10.0, b * h * w)
+            .prop_map(move |data| Raster::new(data, b, h, w).unwrap())
+    })
+}
+
+proptest! {
+    /// GTRF encode/decode is the identity, including georeferencing.
+    #[test]
+    fn gtrf_round_trip(mut r in raster_strategy(4, 8), epsg in 0u32..100_000,
+                       ox in -1e6f64..1e6, oy in -1e6f64..1e6) {
+        r.epsg = epsg;
+        r.transform = GeoTransform { origin_x: ox, origin_y: oy, pixel_width: 0.5, pixel_height: 0.25 };
+        let back = gtiff::decode(&gtiff::encode(&r)).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    /// Any single corrupted byte in the sample section is detected.
+    #[test]
+    fn gtrf_detects_corruption(r in raster_strategy(2, 6), flip in 0usize..64) {
+        let mut bytes = gtiff::encode(&r).to_vec();
+        let body_start = bytes.len() - r.as_slice().len() * 4;
+        if body_start >= bytes.len() { return Ok(()); }
+        let idx = body_start + (flip % (bytes.len() - body_start));
+        bytes[idx] ^= 0x55;
+        prop_assert!(gtiff::decode(&bytes).is_err());
+    }
+
+    /// Band algebra identities: a - b = -(b - a); (a+b) - b = a;
+    /// (a*b)/b = a where b ≠ 0.
+    #[test]
+    fn band_algebra_identities(r in raster_strategy(2, 6)) {
+        prop_assume!(r.bands() >= 2);
+        let ab = subtract_bands(&r, 0, 1).unwrap();
+        let ba = subtract_bands(&r, 1, 0).unwrap();
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x + y).abs() < 1e-4);
+        }
+        let sum = add_bands(&r, 0, 1).unwrap();
+        let band1 = r.band(1).unwrap();
+        let band0 = r.band(0).unwrap();
+        for ((s, b), a) in sum.iter().zip(band1).zip(band0) {
+            prop_assert!((s - b - a).abs() < 1e-4);
+        }
+        let prod = multiply_bands(&r, 0, 1).unwrap();
+        let mut with_prod = r.clone();
+        with_prod.push_band(&prod).unwrap();
+        let back = divide_bands(&with_prod, 2, 1).unwrap();
+        for ((v, a), b) in back.iter().zip(band0).zip(band1) {
+            if b.abs() > 1e-3 {
+                prop_assert!((v - a).abs() < 2e-2 * (1.0 + a.abs()), "{v} vs {a}");
+            }
+        }
+    }
+
+    /// The normalized difference always lies in [-1, 1] for non-negative
+    /// bands.
+    #[test]
+    fn ndi_bounded(data in prop::collection::vec(0.0f32..10.0, 2 * 9)) {
+        let r = Raster::new(data, 2, 3, 3).unwrap();
+        let nd = normalized_difference(&r, 0, 1).unwrap();
+        prop_assert!(nd.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    /// normalize_band output is always within [0, 1] and attains the
+    /// bounds for non-constant inputs.
+    #[test]
+    fn normalize_band_bounds(data in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = normalize_band(&data);
+        prop_assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let distinct = data.iter().any(|&v| (v - data[0]).abs() > 1e-6);
+        if distinct {
+            prop_assert!(n.iter().any(|&v| v == 0.0));
+            prop_assert!(n.iter().any(|&v| v == 1.0));
+        }
+    }
+
+    /// GLCM probabilities form a symmetric distribution for any image.
+    #[test]
+    fn glcm_is_distribution(data in prop::collection::vec(0.0f32..1.0, 16), levels in 2usize..8) {
+        let g = Glcm::compute(&data, 4, 4, levels, GlcmDirection::South).unwrap();
+        let mut total = 0.0;
+        for i in 0..levels {
+            for j in 0..levels {
+                total += g.p(i, j);
+                prop_assert!((g.p(i, j) - g.p(j, i)).abs() < 1e-12);
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(g.homogeneity() <= 1.0 + 1e-9);
+        prop_assert!(g.energy() <= 1.0 + 1e-9);
+        prop_assert!(g.correlation().abs() <= 1.0 + 1e-6);
+    }
+
+    /// Append-then-delete of the appended band restores the original.
+    #[test]
+    fn transform_append_delete_round_trip(r in raster_strategy(3, 6)) {
+        prop_assume!(r.bands() >= 2);
+        let appended = AppendNormalizedDifferenceIndex::new(0, 1).apply(&r).unwrap();
+        let restored = DeleteBand::new(appended.bands() - 1).apply(&appended).unwrap();
+        prop_assert_eq!(restored, r);
+    }
+
+    /// Composed NormalizeAll is idempotent.
+    #[test]
+    fn normalize_all_idempotent(r in raster_strategy(3, 6)) {
+        let once = NormalizeAll.apply(&r).unwrap();
+        let twice = Compose::new().add(NormalizeAll).add(NormalizeAll).apply(&r).unwrap();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

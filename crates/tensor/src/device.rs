@@ -1,0 +1,207 @@
+//! Execution-device selection and the data-parallel helper used by kernels.
+//!
+//! GeoTorchAI's evaluation compares CPU against GPU training. This
+//! reproduction has no GPU, so the same axis is modelled as *serial* versus
+//! *data-parallel multicore* execution: [`Device::Cpu`] runs every kernel on
+//! the calling thread, while [`Device::Parallel`] splits heavy kernels
+//! across a crossbeam scope. The substitution preserves the property under
+//! test (a data-parallel backend amortises per-sample work), which is what
+//! Figure 9 of the paper measures.
+
+use std::cell::Cell;
+
+/// Where tensor kernels execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Serial execution on the calling thread (the paper's "CPU").
+    Cpu,
+    /// Data-parallel execution over `n` worker threads (the paper's "GPU").
+    Parallel(usize),
+}
+
+impl Device {
+    /// A parallel device sized to the machine's available cores.
+    pub fn parallel() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Device::Parallel(n.max(1))
+    }
+
+    /// Number of worker threads this device fans out to.
+    pub fn threads(self) -> usize {
+        match self {
+            Device::Cpu => 1,
+            Device::Parallel(n) => n.max(1),
+        }
+    }
+
+    /// The device kernels on the current thread will use.
+    pub fn current() -> Self {
+        CURRENT.with(|c| c.get())
+    }
+
+    /// Set the device for the current thread (prefer [`with_device`]).
+    pub fn set_current(device: Device) {
+        CURRENT.with(|c| c.set(device));
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Device> = const { Cell::new(Device::Cpu) };
+}
+
+/// Run `f` with `device` as the current execution device, restoring the
+/// previous device afterwards (also on panic).
+pub fn with_device<T>(device: Device, f: impl FnOnce() -> T) -> T {
+    struct Restore(Device);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            Device::set_current(self.0);
+        }
+    }
+    let _restore = Restore(Device::current());
+    Device::set_current(device);
+    f()
+}
+
+/// A raw `*mut f32` that may cross thread boundaries. Only for writes to
+/// provably disjoint regions inside this crate's kernels.
+pub(crate) struct SendPtr(pub *mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Minimum number of elements before elementwise kernels bother going
+/// parallel; below this the spawn overhead dominates.
+pub(crate) const PARALLEL_THRESHOLD: usize = 16 * 1024;
+
+/// Run `f(task_index)` for every index in `0..tasks`, fanned out over the
+/// current device's worker threads. Tasks are distributed in contiguous
+/// ranges; `f` must be safe to call concurrently for distinct indices.
+pub fn parallel_for(tasks: usize, f: impl Fn(usize) + Sync) {
+    let threads = Device::current().threads().min(tasks.max(1));
+    if threads <= 1 || tasks <= 1 {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let chunk = tasks.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(tasks);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move |_| {
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// Apply `f` to equal chunks of `out`, in parallel on the current device.
+/// `f` receives the element offset of the chunk and the chunk itself.
+pub fn parallel_chunks_mut(out: &mut [f32], min_chunk: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let threads = Device::current().threads();
+    let len = out.len();
+    if threads <= 1 || len < min_chunk * 2 {
+        f(0, out);
+        return;
+    }
+    let chunk = len.div_ceil(threads).max(min_chunk);
+    crossbeam::scope(|scope| {
+        for (idx, part) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(idx * chunk, part));
+        }
+    })
+    .expect("parallel_chunks_mut worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_device_is_cpu() {
+        assert_eq!(Device::current(), Device::Cpu);
+    }
+
+    #[test]
+    fn with_device_restores() {
+        assert_eq!(Device::current(), Device::Cpu);
+        with_device(Device::Parallel(4), || {
+            assert_eq!(Device::current(), Device::Parallel(4));
+            with_device(Device::Cpu, || {
+                assert_eq!(Device::current(), Device::Cpu);
+            });
+            assert_eq!(Device::current(), Device::Parallel(4));
+        });
+        assert_eq!(Device::current(), Device::Cpu);
+    }
+
+    #[test]
+    fn with_device_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_device(Device::Parallel(2), || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(Device::current(), Device::Cpu);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for device in [Device::Cpu, Device::Parallel(4)] {
+            with_device(device, || {
+                let hits = AtomicUsize::new(0);
+                parallel_for(1000, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), 1000);
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_for_handles_edge_counts() {
+        with_device(Device::Parallel(8), || {
+            for tasks in [0usize, 1, 2, 7, 8, 9] {
+                let hits = AtomicUsize::new(0);
+                parallel_for(tasks, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), tasks);
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_chunks_cover_whole_slice() {
+        with_device(Device::Parallel(4), || {
+            let mut data = vec![0.0f32; 100_000];
+            parallel_chunks_mut(&mut data, 1024, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (offset + i) as f32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as f32);
+            }
+        });
+    }
+
+    #[test]
+    fn device_thread_counts() {
+        assert_eq!(Device::Cpu.threads(), 1);
+        assert_eq!(Device::Parallel(6).threads(), 6);
+        assert_eq!(Device::Parallel(0).threads(), 1);
+        assert!(Device::parallel().threads() >= 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! # geotorch-tensor
+//!
+//! Dense, contiguous `f32` tensors and the compute kernels that power the
+//! GeoTorch-RS deep-learning stack.
+//!
+//! This crate stands in for the tensor core of PyTorch in the GeoTorchAI
+//! reproduction: it provides an n-dimensional array type with NumPy-style
+//! broadcasting, reductions, matrix multiplication, and the convolution /
+//! pooling kernels needed by the neural-network layers in `geotorch-nn`.
+//!
+//! ## Design notes
+//!
+//! * Tensors are always **contiguous** in row-major order. Shape-changing
+//!   views (`transpose`, `permute`) materialise a new buffer; this keeps
+//!   every kernel simple and cache-friendly at the cost of some copies.
+//! * Storage is `Arc<Vec<f32>>` with copy-on-write: cloning a tensor is
+//!   O(1), and in-place ops copy only when the buffer is shared.
+//! * The execution backend is selected through [`Device`]: `Device::Cpu`
+//!   runs kernels on the calling thread, `Device::parallel()` fans heavy
+//!   kernels (matmul, conv, large elementwise ops) out across a crossbeam
+//!   scope. In the paper's experiments this models the GPU-vs-CPU axis.
+//! * Shape errors are programming errors and **panic** with descriptive
+//!   messages, mirroring the behaviour of `ndarray` and PyTorch's eager
+//!   mode. Fallible, data-dependent APIs live in the higher-level crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use geotorch_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.as_slice(), &[3.0, 3.0, 7.0, 7.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod ops;
+mod tensor;
+
+pub use device::{with_device, Device};
+pub use tensor::Tensor;
+
+/// Row-major strides (in elements) for a shape.
+///
+/// The last axis always has stride 1; an empty shape yields no strides.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Total number of elements implied by a shape.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 3]), 0);
+    }
+}

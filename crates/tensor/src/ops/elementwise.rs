@@ -1,0 +1,238 @@
+//! Elementwise arithmetic, comparison, and math functions.
+
+use crate::device::{parallel_chunks_mut, PARALLEL_THRESHOLD};
+use crate::ops::broadcast::zip_broadcast;
+use crate::Tensor;
+
+impl Tensor {
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = vec![0.0f32; self.len()];
+        let src = self.as_slice();
+        parallel_chunks_mut(&mut out, PARALLEL_THRESHOLD, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = f(src[offset + i]);
+            }
+        });
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Apply `f` to every element in place (copies if storage is shared).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let data = self.as_mut_slice();
+        parallel_chunks_mut(data, PARALLEL_THRESHOLD, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, f32::min)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Negate every element.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|v| v * v)
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&self) -> Tensor {
+        self.map(|v| 1.0 / v)
+    }
+
+    /// Elementwise integer power.
+    pub fn powi(&self, n: i32) -> Tensor {
+        self.map(|v| v.powi(n))
+    }
+
+    /// Rectified linear unit: `max(v, 0)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Logistic sigmoid, numerically stable on both tails.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(stable_sigmoid)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Clamp every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Elementwise `1.0` where `self > other` (broadcast), else `0.0`.
+    pub fn gt_mask(&self, other: &Tensor) -> Tensor {
+        zip_broadcast(self, other, |a, b| if a > b { 1.0 } else { 0.0 })
+    }
+
+    /// Accumulate `other` into `self` elementwise (shapes must match).
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign requires matching shapes"
+        );
+        let src = other.as_slice().to_vec();
+        let dst = self.as_mut_slice();
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+}
+
+/// Sigmoid that does not overflow for large |x|.
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{with_device, Device};
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sub(&b).as_slice(), &[-3.0, -3.0, -3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[0.0, 3.0]);
+        assert_eq!(a.mul_scalar(-2.0).as_slice(), &[2.0, -4.0]);
+        assert_eq!(a.neg().as_slice(), &[1.0, -2.0]);
+        assert_eq!(a.abs().as_slice(), &[1.0, 2.0]);
+        assert_eq!(a.square().as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn activations() {
+        let a = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 3.0]);
+        let s = a.sigmoid();
+        assert!((s.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(s.as_slice()[0] < 0.5 && s.as_slice()[2] > 0.5);
+        let t = a.tanh();
+        assert!((t.as_slice()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(stable_sigmoid(1000.0), 1.0);
+        assert_eq!(stable_sigmoid(-1000.0), 0.0);
+        assert!(stable_sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn maximum_minimum_clamp() {
+        let a = Tensor::from_vec(vec![1.0, 5.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 2.0], &[2]);
+        assert_eq!(a.maximum(&b).as_slice(), &[3.0, 5.0]);
+        assert_eq!(a.minimum(&b).as_slice(), &[1.0, 2.0]);
+        assert_eq!(a.clamp(2.0, 4.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn gt_mask_broadcasts() {
+        let a = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+        let m = a.gt_mask(&Tensor::scalar(2.0));
+        assert_eq!(m.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        a.add_assign(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn map_parallel_matches_serial() {
+        let data: Vec<f32> = (0..100_000).map(|i| i as f32).collect();
+        let t = Tensor::from_vec(data, &[100_000]);
+        let serial = t.map(|v| v * 2.0 + 1.0);
+        let parallel = with_device(Device::Parallel(4), || t.map(|v| v * 2.0 + 1.0));
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,147 @@
+//! Matrix multiplication kernels.
+
+use crate::device::{parallel_for, SendPtr};
+use crate::Tensor;
+
+impl Tensor {
+    /// 2-D matrix product `self [m,k] × other [k,n] → [m,n]`.
+    ///
+    /// Rows of the output are computed independently and fanned out across
+    /// the current device's threads. The inner loop is written `ikj` so the
+    /// innermost traversal is contiguous in both `other` and the output.
+    ///
+    /// # Panics
+    /// If either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims differ: {:?} × {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // Split output rows into bands; each band is an independent task.
+        let band = 16usize.max(if m > 0 { m.div_ceil(64) } else { 1 });
+        let bands = m.div_ceil(band.max(1)).max(1);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        parallel_for(bands, |bi| {
+            let row_start = bi * band;
+            let row_end = ((bi + 1) * band).min(m);
+            // SAFETY: bands touch disjoint row ranges of `out`.
+            let out = unsafe {
+                std::slice::from_raw_parts_mut({ &out_ptr }.0.add(row_start * n), (row_end - row_start) * n)
+            };
+            for (local_i, i) in (row_start..row_end).enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[local_i * n..(local_i + 1) * n];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * b_pj;
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two 1-D tensors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.ndim(), 1, "dot lhs must be 1-D");
+        assert_eq!(self.shape(), other.shape(), "dot length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+/// Naive triple-loop reference used by tests and the kernel ablation bench.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{with_device, Device};
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(&[5, 5], -1.0, 1.0, &mut rng);
+        assert!(a.matmul(&Tensor::eye(5)).allclose(&a, 1e-6));
+        assert!(Tensor::eye(5).matmul(&a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn rectangular_matches_naive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Tensor::rand_uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[13, 5], -1.0, 1.0, &mut rng);
+        assert!(a.matmul(&b).allclose(&matmul_naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let a = Tensor::rand_uniform(&[64, 32], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[32, 48], -1.0, 1.0, &mut rng);
+        let serial = a.matmul(&b);
+        let parallel = with_device(Device::Parallel(4), || a.matmul(&b));
+        assert!(serial.allclose(&parallel, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn mismatched_dims_panic() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Tensor::zeros(&[0, 4]);
+        let b = Tensor::zeros(&[4, 3]);
+        assert_eq!(a.matmul(&b).shape(), &[0, 3]);
+        let c = Tensor::ones(&[1, 1]).matmul(&Tensor::full(&[1, 1], 2.0));
+        assert_eq!(c.item(), 2.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Tensor kernels, grouped by family.
+//!
+//! All kernels operate on contiguous row-major buffers and respect the
+//! thread-local [`crate::Device`] for parallel execution.
+
+pub mod broadcast;
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+pub mod shape_ops;
+pub mod softmax;

@@ -1,0 +1,210 @@
+//! Pooling kernels (NCHW).
+
+use crate::ops::conv::conv_out_len;
+use crate::Tensor;
+
+/// 2-D max pooling. Returns the pooled tensor and the flat index (into the
+/// input buffer) of each selected maximum, which the backward pass scatters
+/// gradients through.
+pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.ndim(), 4, "maxpool2d input must be [B,C,H,W]");
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let oh = conv_out_len(h, kernel, stride, 0);
+    let ow = conv_out_len(w, kernel, stride, 0);
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut argmax = vec![0usize; b * c * oh * ow];
+    for bc in 0..b * c {
+        let img_base = bc * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ki in 0..kernel {
+                    let row = img_base + (oi * stride + ki) * w + oj * stride;
+                    for kj in 0..kernel {
+                        let v = src[row + kj];
+                        if v > best {
+                            best = v;
+                            best_idx = row + kj;
+                        }
+                    }
+                }
+                let o_idx = (bc * oh + oi) * ow + oj;
+                out[o_idx] = best;
+                argmax[o_idx] = best_idx;
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[b, c, oh, ow]), argmax)
+}
+
+/// Scatter `grad` back through the argmax indices from [`maxpool2d`].
+pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad.len(), argmax.len(), "maxpool backward length mismatch");
+    let mut out = vec![0.0f32; crate::numel(input_shape)];
+    for (g, &idx) in grad.as_slice().iter().zip(argmax) {
+        out[idx] += g;
+    }
+    Tensor::from_vec(out, input_shape)
+}
+
+/// 2-D average pooling.
+pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "avgpool2d input must be [B,C,H,W]");
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let oh = conv_out_len(h, kernel, stride, 0);
+    let ow = conv_out_len(w, kernel, stride, 0);
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    for bc in 0..b * c {
+        let img_base = bc * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0.0;
+                for ki in 0..kernel {
+                    let row = img_base + (oi * stride + ki) * w + oj * stride;
+                    for kj in 0..kernel {
+                        acc += src[row + kj];
+                    }
+                }
+                out[(bc * oh + oi) * ow + oj] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, oh, ow])
+}
+
+/// Spread `grad` uniformly back through the averaging windows.
+pub fn avgpool2d_backward(
+    grad: &Tensor,
+    kernel: usize,
+    stride: usize,
+    input_shape: &[usize],
+) -> Tensor {
+    let (b, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let (oh, ow) = (grad.shape()[2], grad.shape()[3]);
+    let inv = 1.0 / (kernel * kernel) as f32;
+    let g = grad.as_slice();
+    let mut out = vec![0.0f32; b * c * h * w];
+    for bc in 0..b * c {
+        let img_base = bc * h * w;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let gv = g[(bc * oh + oi) * ow + oj] * inv;
+                for ki in 0..kernel {
+                    let row = img_base + (oi * stride + ki) * w + oj * stride;
+                    for kj in 0..kernel {
+                        out[row + kj] += gv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_shape)
+}
+
+/// Global average pool: `[B,C,H,W] → [B,C]`.
+pub fn global_avgpool2d(input: &Tensor) -> Tensor {
+    assert_eq!(input.ndim(), 4, "global_avgpool2d input must be [B,C,H,W]");
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let inv = 1.0 / (h * w) as f32;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; b * c];
+    for (bc, o) in out.iter_mut().enumerate() {
+        *o = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(out, &[b, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maxpool_known() {
+        let img = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, argmax) = maxpool2d(&img, 2, 2);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let img = Tensor::arange(16).reshape(&[1, 1, 4, 4]);
+        let (_, argmax) = maxpool2d(&img, 2, 2);
+        let grad = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let back = maxpool2d_backward(&grad, &argmax, &[1, 1, 4, 4]);
+        assert_eq!(back.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(back.at(&[0, 0, 1, 3]), 2.0);
+        assert_eq!(back.at(&[0, 0, 3, 1]), 3.0);
+        assert_eq!(back.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(back.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_known() {
+        let img = Tensor::arange(16).reshape(&[1, 1, 4, 4]);
+        let out = avgpool2d(&img, 2, 2);
+        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_is_adjoint() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform(&[2, 3, 6, 6], -1.0, 1.0, &mut rng);
+        let y = avgpool2d(&x, 2, 2);
+        let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+        let lhs = y.flatten().dot(&g.flatten());
+        let back = avgpool2d_backward(&g, 2, 2, x.shape());
+        let rhs = x.flatten().dot(&back.flatten());
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlapping_windows_stride_one() {
+        let img = Tensor::arange(9).reshape(&[1, 1, 3, 3]);
+        let (out, _) = maxpool2d(&img, 2, 1);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn global_avgpool() {
+        let img = Tensor::arange(8).reshape(&[2, 1, 2, 2]);
+        let out = global_avgpool2d(&img);
+        assert_eq!(out.shape(), &[2, 1]);
+        assert_eq!(out.as_slice(), &[1.5, 5.5]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Shape manipulation: reshape, transpose, permute, slicing, concat, pad.
+
+use crate::{numel, strides_for, Tensor};
+
+impl Tensor {
+    /// Reinterpret the buffer with a new shape (same element count).
+    ///
+    /// # Panics
+    /// If the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "cannot reshape {:?} ({} elems) into {:?} ({} elems)",
+            self.shape(),
+            self.len(),
+            shape,
+            numel(shape)
+        );
+        Tensor::from_vec(self.as_slice().to_vec(), shape)
+    }
+
+    /// Flatten into a 1-D tensor.
+    pub fn flatten(&self) -> Tensor {
+        self.reshape(&[self.len()])
+    }
+
+    /// Insert a new axis of extent 1 at `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Tensor {
+        assert!(axis <= self.ndim(), "unsqueeze axis out of range");
+        let mut shape = self.shape().to_vec();
+        shape.insert(axis, 1);
+        self.reshape(&shape)
+    }
+
+    /// Remove an axis of extent 1 at `axis`.
+    ///
+    /// # Panics
+    /// If the axis does not have extent 1.
+    pub fn squeeze(&self, axis: usize) -> Tensor {
+        assert_eq!(
+            self.shape()[axis],
+            1,
+            "squeeze axis {} has extent {} (must be 1)",
+            axis,
+            self.shape()[axis]
+        );
+        let mut shape = self.shape().to_vec();
+        shape.remove(axis);
+        self.reshape(&shape)
+    }
+
+    /// Transpose a 2-D tensor.
+    ///
+    /// # Panics
+    /// If the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose requires 2-D, got {:?}", self.shape());
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = src[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Permute axes: `perm[i]` names the source axis placed at position `i`.
+    ///
+    /// # Panics
+    /// If `perm` is not a permutation of `0..ndim`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let rank = self.ndim();
+        assert_eq!(perm.len(), rank, "permute needs {} axes, got {:?}", rank, perm);
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            assert!(p < rank && !seen[p], "permute {:?} is not a permutation", perm);
+            seen[p] = true;
+        }
+        let src_shape = self.shape();
+        let src_strides = strides_for(src_shape);
+        let out_shape: Vec<usize> = perm.iter().map(|&p| src_shape[p]).collect();
+        let total = self.len();
+        let mut out = Vec::with_capacity(total);
+        let src = self.as_slice();
+        let mut index = vec![0usize; rank];
+        let step: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
+        let mut offset = 0usize;
+        for _ in 0..total {
+            out.push(src[offset]);
+            for ax in (0..rank).rev() {
+                index[ax] += 1;
+                offset += step[ax];
+                if index[ax] < out_shape[ax] {
+                    break;
+                }
+                offset -= step[ax] * out_shape[ax];
+                index[ax] = 0;
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Slice `[start, end)` along `axis`.
+    ///
+    /// # Panics
+    /// If the range is empty-invalid or out of bounds.
+    pub fn narrow(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        let shape = self.shape();
+        assert!(axis < shape.len(), "narrow axis {} out of range", axis);
+        assert!(
+            start <= end && end <= shape[axis],
+            "narrow range {}..{} invalid for axis of extent {}",
+            start,
+            end,
+            shape[axis]
+        );
+        let outer: usize = shape[..axis].iter().product();
+        let inner: usize = shape[axis + 1..].iter().product();
+        let n = shape[axis];
+        let keep = end - start;
+        let src = self.as_slice();
+        let mut out = Vec::with_capacity(outer * keep * inner);
+        for o in 0..outer {
+            let base = (o * n + start) * inner;
+            out.extend_from_slice(&src[base..base + keep * inner]);
+        }
+        let mut out_shape = shape.to_vec();
+        out_shape[axis] = keep;
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Select a single index along `axis`, removing the axis.
+    pub fn index_axis(&self, axis: usize, index: usize) -> Tensor {
+        self.narrow(axis, index, index + 1).squeeze(axis)
+    }
+
+    /// Concatenate tensors along `axis`. All other axes must match.
+    ///
+    /// # Panics
+    /// If `tensors` is empty or shapes are incompatible.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let first = tensors[0].shape();
+        assert!(axis < first.len(), "concat axis {} out of range", axis);
+        for t in tensors {
+            assert_eq!(t.ndim(), first.len(), "concat rank mismatch");
+            for (ax, (&a, &b)) in first.iter().zip(t.shape()).enumerate() {
+                assert!(
+                    ax == axis || a == b,
+                    "concat shape mismatch on axis {}: {:?} vs {:?}",
+                    ax,
+                    first,
+                    t.shape()
+                );
+            }
+        }
+        let outer: usize = first[..axis].iter().product();
+        let inner: usize = first[axis + 1..].iter().product();
+        let total_axis: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
+        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        for o in 0..outer {
+            for t in tensors {
+                let n = t.shape()[axis];
+                let src = t.as_slice();
+                let base = o * n * inner;
+                out.extend_from_slice(&src[base..base + n * inner]);
+            }
+        }
+        let mut out_shape = first.to_vec();
+        out_shape[axis] = total_axis;
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Stack tensors along a new leading axis.
+    pub fn stack(tensors: &[&Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "stack of zero tensors");
+        let shape = tensors[0].shape().to_vec();
+        let mut out = Vec::with_capacity(tensors.len() * tensors[0].len());
+        for t in tensors {
+            assert_eq!(t.shape(), &shape[..], "stack shape mismatch");
+            out.extend_from_slice(t.as_slice());
+        }
+        let mut out_shape = vec![tensors.len()];
+        out_shape.extend_from_slice(&shape);
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Zero-pad the last two axes by `pad` on every side (NCHW images).
+    ///
+    /// # Panics
+    /// If the tensor has fewer than 2 axes.
+    pub fn pad2d(&self, pad: usize) -> Tensor {
+        if pad == 0 {
+            return self.clone();
+        }
+        let rank = self.ndim();
+        assert!(rank >= 2, "pad2d requires at least 2 axes");
+        let (h, w) = (self.shape()[rank - 2], self.shape()[rank - 1]);
+        let outer: usize = self.shape()[..rank - 2].iter().product();
+        let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+        let mut out = vec![0.0f32; outer * oh * ow];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for i in 0..h {
+                let src_base = (o * h + i) * w;
+                let dst_base = (o * oh + i + pad) * ow + pad;
+                out[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
+            }
+        }
+        let mut out_shape = self.shape().to_vec();
+        out_shape[rank - 2] = oh;
+        out_shape[rank - 1] = ow;
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Remove `pad` elements from every side of the last two axes
+    /// (the inverse of [`Tensor::pad2d`]).
+    pub fn unpad2d(&self, pad: usize) -> Tensor {
+        if pad == 0 {
+            return self.clone();
+        }
+        let rank = self.ndim();
+        let (h, w) = (self.shape()[rank - 2], self.shape()[rank - 1]);
+        assert!(h > 2 * pad && w > 2 * pad, "unpad2d removes entire extent");
+        self.narrow(rank - 2, pad, h - pad).narrow(rank - 1, pad, w - pad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_and_flatten() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.flatten().shape(), &[6]);
+        assert_eq!(t.unsqueeze(0).shape(), &[1, 2, 3]);
+        assert_eq!(t.unsqueeze(0).squeeze(0).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(tt.transpose(), t);
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[k, i, j]), t.at(&[i, j, k]));
+                }
+            }
+        }
+        let m = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(m.permute(&[1, 0]), m.transpose());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_duplicates() {
+        Tensor::zeros(&[2, 3]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn narrow_and_index_axis() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let n = t.narrow(1, 1, 3);
+        assert_eq!(n.shape(), &[2, 2, 4]);
+        assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        let idx = t.index_axis(0, 1);
+        assert_eq!(idx.shape(), &[3, 4]);
+        assert_eq!(idx.at(&[0, 0]), 12.0);
+    }
+
+    #[test]
+    fn concat_middle_axis() {
+        let a = Tensor::arange(4).reshape(&[2, 1, 2]);
+        let b = Tensor::arange(8).reshape(&[2, 2, 2]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 3, 2]);
+        assert_eq!(c.at(&[0, 0, 0]), a.at(&[0, 0, 0]));
+        assert_eq!(c.at(&[0, 1, 0]), b.at(&[0, 0, 0]));
+        assert_eq!(c.at(&[1, 2, 1]), b.at(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn concat_then_narrow_round_trips() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let b = Tensor::arange(4).reshape(&[2, 2]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.narrow(1, 0, 3), a);
+        assert_eq!(c.narrow(1, 3, 5), b);
+    }
+
+    #[test]
+    fn stack_adds_leading_axis() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.at(&[0, 0, 0]), 1.0);
+        assert_eq!(s.at(&[1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let t = Tensor::arange(12).reshape(&[1, 3, 4]);
+        let p = t.pad2d(2);
+        assert_eq!(p.shape(), &[1, 7, 8]);
+        assert_eq!(p.at(&[0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 2, 2]), t.at(&[0, 0, 0]));
+        assert_eq!(p.unpad2d(2), t);
+    }
+}

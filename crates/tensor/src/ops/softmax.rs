@@ -1,0 +1,94 @@
+//! Row-wise softmax and log-softmax over the last axis.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Softmax over the last axis, numerically stabilised by max-shift.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        assert!(self.ndim() >= 1, "softmax requires at least 1 axis");
+        let cols = *self.shape().last().expect("non-empty shape");
+        assert!(cols > 0, "softmax over empty axis");
+        let rows = self.len() / cols;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            let mut sum = 0.0;
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d = (v - m).exp();
+                sum += *d;
+            }
+            let inv = 1.0 / sum;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Log-softmax over the last axis (stable log-sum-exp).
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let cols = *self.shape().last().expect("non-empty shape");
+        let rows = self.len() / cols;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (d, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *d = v - lse;
+            }
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = t.softmax_lastdim();
+        for r in 0..2 {
+            let sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = a.add_scalar(100.0);
+        assert!(a.softmax_lastdim().allclose(&b.softmax_lastdim(), 1e-6));
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 0.0], &[2]);
+        let s = t.softmax_lastdim();
+        assert!((s.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.5, 2.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let ls = t.log_softmax_lastdim();
+        let reference = t.softmax_lastdim().ln();
+        assert!(ls.allclose(&reference, 1e-5));
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let t = Tensor::zeros(&[1, 4]);
+        let s = t.softmax_lastdim();
+        assert!(s.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for tensor invariants.
+
+use geotorch_tensor::ops::broadcast::{broadcast_shape, reduce_to_shape, zip_broadcast};
+use geotorch_tensor::ops::conv::{col2im, conv2d, conv2d_naive, conv_out_len, im2col};
+use geotorch_tensor::ops::matmul::matmul_naive;
+use geotorch_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_tensor(max_rank: usize, max_dim: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(1..=max_dim, 0..=max_rank).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        prop::collection::vec(-100.0f32..100.0, n..=n)
+            .prop_map(move |data| Tensor::from_vec(data, &shape))
+    })
+}
+
+proptest! {
+    #[test]
+    fn reshape_preserves_data(t in small_tensor(3, 5)) {
+        let flat = t.flatten();
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        let back = flat.reshape(t.shape());
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn double_transpose_is_identity(r in 1usize..8, c in 1usize..8, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[r, c], -1.0, 1.0, &mut rng);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn addition_commutes_under_broadcast(a in small_tensor(2, 4), b in small_tensor(2, 4)) {
+        // Only when shapes broadcast; skip incompatible pairs.
+        let compatible = std::panic::catch_unwind(|| broadcast_shape(a.shape(), b.shape())).is_ok();
+        prop_assume!(compatible);
+        let ab = zip_broadcast(&a, &b, |x, y| x + y);
+        let ba = zip_broadcast(&b, &a, |x, y| x + y);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn broadcast_shape_is_commutative_and_bounded(
+        a in prop::collection::vec(1usize..4, 0..3),
+        b in prop::collection::vec(1usize..4, 0..3),
+    ) {
+        let fwd = std::panic::catch_unwind(|| broadcast_shape(&a, &b));
+        let rev = std::panic::catch_unwind(|| broadcast_shape(&b, &a));
+        match (fwd, rev) {
+            (Ok(f), Ok(r)) => {
+                prop_assert_eq!(&f, &r);
+                prop_assert_eq!(f.len(), a.len().max(b.len()));
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast compatibility must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn reduce_to_shape_conserves_mass(rows in 1usize..6, cols in 1usize..6) {
+        let g = Tensor::ones(&[rows, cols]);
+        for target in [vec![rows, cols], vec![cols], vec![rows, 1], vec![1, cols], vec![]] {
+            let r = reduce_to_shape(&g, &target);
+            prop_assert!((r.sum() - g.sum()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_axis_equals_total(t in small_tensor(3, 4)) {
+        prop_assume!(t.ndim() >= 1 && !t.is_empty());
+        for ax in 0..t.ndim() {
+            let s = t.sum_axis(ax);
+            prop_assert!((s.sum() - t.sum()).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+        prop_assert!(a.matmul(&b).allclose(&matmul_naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn conv_fast_equals_naive(
+        c in 1usize..4, o in 1usize..4, hw in 3usize..9,
+        k in 1usize..4, s in 1usize..3, p in 0usize..2, seed in 0u64..50,
+    ) {
+        prop_assume!(hw + 2 * p >= k);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[1, c, hw, hw], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[o, c, k, k], -1.0, 1.0, &mut rng);
+        let fast = conv2d(&x, &w, None, s, p);
+        let slow = conv2d_naive(&x, &w, None, s, p);
+        prop_assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, hw in 3usize..8, k in 1usize..4,
+        s in 1usize..3, p in 0usize..2, seed in 0u64..50,
+    ) {
+        prop_assume!(hw + 2 * p >= k);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[c, hw, hw], -1.0, 1.0, &mut rng);
+        let cx = im2col(&x, k, k, s, p);
+        let y = Tensor::rand_uniform(cx.shape(), -1.0, 1.0, &mut rng);
+        let lhs = cx.flatten().dot(&y.flatten());
+        let rhs = x.flatten().dot(&col2im(&y, c, hw, hw, k, k, s, p).flatten());
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conv_out_len_inverts_on_stride_one(input in 1usize..32, k in 1usize..6, p in 0usize..3) {
+        prop_assume!(input + 2 * p >= k);
+        let out = conv_out_len(input, k, 1, p);
+        prop_assert_eq!(out, input + 2 * p - k + 1);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[rows, cols], -10.0, 10.0, &mut rng);
+        let s = t.softmax_lastdim();
+        for r in 0..rows {
+            let row = &s.as_slice()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn concat_narrow_round_trip(
+        rows in 1usize..5, c1 in 1usize..5, c2 in 1usize..5, seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&[rows, c1], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[rows, c2], -1.0, 1.0, &mut rng);
+        let cat = Tensor::concat(&[&a, &b], 1);
+        prop_assert_eq!(cat.narrow(1, 0, c1), a);
+        prop_assert_eq!(cat.narrow(1, c1, c1 + c2), b);
+    }
+
+    #[test]
+    fn pad_unpad_round_trip(c in 1usize..3, h in 1usize..6, w in 1usize..6, p in 0usize..3) {
+        let t = Tensor::arange(c * h * w).reshape(&[c, h, w]);
+        prop_assert_eq!(t.pad2d(p).unpad2d(p), t);
+    }
+}

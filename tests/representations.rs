@@ -1,0 +1,153 @@
+//! Integration tests for the paper's Listings: the three dataset
+//! representations (Listings 2–4), raster dataset usage (Listing 1),
+//! transforms (Listing 7), and the raster preprocessing pipeline
+//! (Listing 9) — asserting the feature matrix of Table I.
+
+use geotorchai::datasets::raster::RasterDataset;
+use geotorchai::preprocessing::raster::{RasterBatch, RasterProcessing};
+use geotorchai::prelude::*;
+use geotorchai::transforms::raster::{
+    AppendNormalizedDifferenceIndex, Compose, NormalizeAll, RasterTransform,
+};
+use rand::SeedableRng;
+
+/// Listing 2 — basic representation with a lead time.
+#[test]
+fn listing2_basic_representation() {
+    let mut weather = StGridDataset::temperature(3, 0);
+    weather.set_basic_representation(24);
+    let StSample::Basic { x, y } = weather.get(0) else {
+        panic!("expected basic sample");
+    };
+    assert_eq!(x.shape(), y.shape());
+    assert_eq!(x.shape(), &[1, 32, 64]);
+    assert_eq!(weather.len(), 3 * 24 - 24);
+}
+
+/// Listing 3 — sequential representation (history → prediction).
+#[test]
+fn listing3_sequential_representation() {
+    let mut weather = StGridDataset::temperature(5, 0);
+    weather.set_sequential_representation(48, 24);
+    let StSample::Sequential { x, y } = weather.get(0) else {
+        panic!("expected sequential sample");
+    };
+    assert_eq!(x.shape(), &[48, 1, 32, 64]);
+    assert_eq!(y.shape(), &[24, 1, 32, 64]);
+}
+
+/// Listing 4 — periodical representation (closeness/period/trend).
+#[test]
+fn listing4_periodical_representation() {
+    let mut weather = StGridDataset::temperature(31, 0);
+    weather.set_periodical_representation(3, 4, 4);
+    let StSample::Periodical {
+        x_closeness,
+        x_period,
+        x_trend,
+        y,
+    } = weather.get(0) else {
+        panic!("expected periodical sample");
+    };
+    assert_eq!(x_closeness.shape(), &[3, 32, 64]);
+    assert_eq!(x_period.shape(), &[4, 32, 64]);
+    assert_eq!(x_trend.shape(), &[4, 32, 64]);
+    assert_eq!(y.shape(), &[1, 32, 64]);
+}
+
+/// Listing 1 — raster dataset with automatically extracted features.
+#[test]
+fn listing1_raster_dataset_with_features() {
+    let eurosat = RasterDataset::eurosat(1, 0).with_additional_features();
+    let (inputs, label, features) = eurosat.get(0);
+    assert_eq!(inputs.shape(), &[13, 64, 64]);
+    assert!(label < 10);
+    assert_eq!(features.expect("features enabled").len(), 13);
+}
+
+/// Listing 7 — transform passed at dataset construction, applied on the
+/// fly.
+#[test]
+fn listing7_transform_on_dataset() {
+    let append = AppendNormalizedDifferenceIndex::new(1, 2);
+    let data = RasterDataset::sat6(1, 0).with_transform(append);
+    let (x, _, _) = data.get(0);
+    assert_eq!(x.shape()[0], 5, "one appended band");
+}
+
+/// Listing 5/6 analogues — models constructed and applied through the
+/// facade exactly as the paper's API sketches.
+#[test]
+fn listing5_6_model_construction() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let st_resnet = StResNet::new(2, (3, 4, 4), 8, 8, 8, 2, &mut rng);
+    let input = geotorchai::models::GridInput::Periodical {
+        closeness: Var::constant(Tensor::zeros(&[1, 6, 8, 8])),
+        period: Var::constant(Tensor::zeros(&[1, 8, 8, 8])),
+        trend: Var::constant(Tensor::zeros(&[1, 8, 8, 8])),
+    };
+    assert_eq!(st_resnet.forward(&input).shape(), vec![1, 2, 8, 8]);
+
+    let deepsat = DeepSatV2::new(4, 28, 28, 6, 9, &mut rng);
+    let images = Var::constant(Tensor::zeros(&[2, 4, 28, 28]));
+    let features = Var::constant(Tensor::zeros(&[2, 9]));
+    assert_eq!(deepsat.forward(&images, Some(&features)).shape(), vec![2, 6]);
+}
+
+/// Listing 9 — load → transform → write on GTRF rasters.
+#[test]
+fn listing9_raster_pipeline() {
+    let dir = std::env::temp_dir().join(format!("geotorch_listing9_{}", std::process::id()));
+    let input = dir.join("in");
+    let output = dir.join("out");
+    let images: Vec<geotorchai::raster::Raster> = (0..4)
+        .map(|i| {
+            geotorchai::raster::Raster::new(
+                (0..3 * 16 * 16).map(|v| ((v + i) % 31) as f32 / 31.0).collect(),
+                3,
+                16,
+                16,
+            )
+            .expect("raster")
+        })
+        .collect();
+    std::fs::create_dir_all(&input).expect("mkdir");
+    RasterProcessing::write_geotiff_images(&RasterBatch::from_rasters(images), &input)
+        .expect("write");
+    let chain = Compose::new()
+        .add(AppendNormalizedDifferenceIndex::new(0, 1))
+        .add(NormalizeAll);
+    let n = RasterProcessing::process_directory(&input, &output, &chain).expect("pipeline");
+    assert_eq!(n, 4);
+    let back = RasterProcessing::load_geotiff_images(&output).expect("reload");
+    assert!(back.rasters.iter().all(|r| r.bands() == 4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Table I's feature matrix: spatial + temporal + grid + raster +
+/// scalable preprocessing all present in one framework.
+#[test]
+fn table1_feature_matrix() {
+    // Grid + temporal: the periodical representation exists.
+    let mut ds = StGridDataset::yellowtrip_nyc(8, 0);
+    ds.set_periodical_representation(2, 1, 1);
+    assert!(ds.len() > 0);
+    // Raster: datasets + models exist.
+    assert_eq!(RasterDataset::sat4(1, 0).num_classes(), 4);
+    // Scalable preprocessing: the partitioned engine is exercised in
+    // end_to_end.rs; here we assert the API surface exists.
+    let _ = geotorchai::preprocessing::grid::StManager::add_spatial_points;
+}
+
+/// Transforms compose like torchvision.
+#[test]
+fn transforms_compose() {
+    let chain = Compose::new()
+        .add(AppendNormalizedDifferenceIndex::new(0, 1))
+        .add(AppendNormalizedDifferenceIndex::new(0, 2))
+        .add(NormalizeAll);
+    assert_eq!(chain.len(), 3);
+    let raster = geotorchai::raster::Raster::new(vec![0.5; 3 * 4 * 4], 3, 4, 4).expect("raster");
+    let out = chain.apply(&raster).expect("apply");
+    assert_eq!(out.bands(), 5);
+}

@@ -1,0 +1,110 @@
+//! Property-based integration tests over the training stack and
+//! dataset invariants that span crates.
+
+use geotorchai::datasets::grid::GridDatasetBuilder;
+use geotorchai::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every representation's samples stay within the series bounds and
+    /// agree with the documented sample count formula.
+    #[test]
+    fn representation_sample_counts(
+        steps in 16usize..64,
+        lead in 1usize..5,
+        hist in 1usize..6,
+        pred in 1usize..4,
+    ) {
+        let raw = Tensor::ones(&[steps, 4, 5, 1]);
+        let mut ds = GridDatasetBuilder::new(raw).steps_per_day(4).build();
+
+        ds.set_basic_representation(lead);
+        prop_assert_eq!(ds.len(), steps - lead);
+        if ds.len() > 0 {
+            let _ = ds.get(ds.len() - 1); // must not panic
+        }
+
+        prop_assume!(steps > hist + pred);
+        ds.set_sequential_representation(hist, pred);
+        prop_assert_eq!(ds.len(), steps - hist - pred + 1);
+        if ds.len() > 0 {
+            let _ = ds.get(ds.len() - 1);
+        }
+    }
+
+    /// Periodical samples need lags that fit; when they fit, shapes are
+    /// exactly `len * C`.
+    #[test]
+    fn periodical_shapes(lc in 1usize..4, lp in 0usize..3, lt in 0usize..2) {
+        let steps_per_day = 4;
+        let steps = 7 * steps_per_day * 2 + 8; // two weeks + margin
+        let raw = Tensor::ones(&[steps, 3, 4, 2]);
+        let mut ds = GridDatasetBuilder::new(raw).steps_per_day(steps_per_day).build();
+        ds.set_periodical_representation(lc, lp, lt);
+        prop_assume!(ds.len() > 0);
+        let StSample::Periodical { x_closeness, x_period, x_trend, y } = ds.get(0) else {
+            return Err(TestCaseError::fail("wrong sample kind"));
+        };
+        prop_assert_eq!(x_closeness.shape()[0], lc * 2);
+        prop_assert_eq!(x_period.shape()[0], lp * 2);
+        prop_assert_eq!(x_trend.shape()[0], lt * 2);
+        prop_assert_eq!(y.shape(), &[2, 3, 4][..]);
+    }
+
+    /// Normalised datasets always live in [0, 1] and denormalise back to
+    /// the original scale.
+    #[test]
+    fn normalisation_bounds(seed in 0u64..50) {
+        let ds = StGridDataset::taxi_nyc_stdn(8, seed);
+        let StSample::Basic { x, .. } = ds.get(0) else {
+            return Err(TestCaseError::fail("wrong sample kind"));
+        };
+        prop_assert!(x.min() >= 0.0 && x.max() <= 1.0);
+        let denorm = ds.denormalize(&x);
+        prop_assert!(denorm.min() >= -1e-3);
+    }
+
+    /// Split fractions always partition the index space.
+    #[test]
+    fn splits_partition_indices(n in 1usize..500) {
+        let (train, val, test) = chronological_split(n);
+        prop_assert_eq!(train.len() + val.len() + test.len(), n);
+        let (train, val, test) = shuffled_split(n, 3);
+        let mut all: Vec<usize> = train.into_iter().chain(val).chain(test).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// A single SGD step on a batch decreases that batch's loss for a
+    /// small enough learning rate (descent property of the gradients).
+    #[test]
+    fn gradient_step_descends(seed in 0u64..20) {
+        use geotorchai::nn::loss::mse_loss;
+        use geotorchai::nn::optim::{Optimizer, Sgd};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let model = PeriodicalCnn::new(1, (2, 1, 0), 4, &mut rng);
+        let input = geotorchai::models::GridInput::Periodical {
+            closeness: Var::constant(Tensor::rand_uniform(&[2, 2, 6, 6], 0.0, 1.0, &mut rng)),
+            period: Var::constant(Tensor::rand_uniform(&[2, 1, 6, 6], 0.0, 1.0, &mut rng)),
+            trend: Var::constant(Tensor::zeros(&[2, 0, 6, 6])),
+        };
+        let target = Var::constant(Tensor::rand_uniform(&[2, 1, 6, 6], 0.0, 1.0, &mut rng));
+        let loss_before = {
+            let loss = mse_loss(&model.forward(&input), &target);
+            loss.backward();
+            loss.value().item()
+        };
+        let mut opt = Sgd::new(model.parameters(), 1e-3, 0.0);
+        opt.step();
+        let loss_after = mse_loss(&model.forward(&input), &target).value().item();
+        prop_assert!(
+            loss_after <= loss_before + 1e-6,
+            "descent violated: {} -> {}",
+            loss_before,
+            loss_after
+        );
+    }
+}
