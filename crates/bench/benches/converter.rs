@@ -7,6 +7,7 @@ use rand::SeedableRng;
 
 use geotorch_converter::{collect_then_batch, DfFormatter, RowTransformer};
 use geotorch_dataframe::{Column, DataFrame};
+use geotorch_tensor::{with_device, Device};
 
 fn feature_df(rows: usize, partitions: usize) -> DataFrame {
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
@@ -46,6 +47,16 @@ fn bench_converter(c: &mut Criterion) {
                 bench.iter(|| collect_then_batch(&frame, 256).len());
             },
         );
+        // Batched DF→Tensor conversion on the device worker pool vs serial.
+        for (name, device) in [
+            ("all_batches_cpu", Device::Cpu),
+            ("all_batches_parallel", Device::parallel()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |bench, _| {
+                let rt = RowTransformer::new(256);
+                bench.iter(|| with_device(device, || rt.all_batches(&frame).len()));
+            });
+        }
     }
     group.finish();
 }

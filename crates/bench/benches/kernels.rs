@@ -9,7 +9,8 @@ use rand::SeedableRng;
 use geotorch_raster::glcm::{Glcm, GlcmDirection};
 use geotorch_tensor::ops::conv::{conv2d, conv2d_naive};
 use geotorch_tensor::ops::matmul::matmul_naive;
-use geotorch_tensor::Tensor;
+use geotorch_tensor::ops::pool::maxpool2d;
+use geotorch_tensor::{with_device, Device, Tensor};
 
 fn rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(42)
@@ -67,5 +68,69 @@ fn bench_glcm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_conv2d, bench_glcm);
+/// Cpu vs Parallel over the pooled kernels: large shapes should favour
+/// `Device::parallel()`, while the small shapes measure per-dispatch
+/// overhead of the persistent worker pool (no thread spawns per call).
+fn bench_device(c: &mut Criterion) {
+    let devices = [("cpu", Device::Cpu), ("parallel", Device::parallel())];
+
+    let mut group = c.benchmark_group("device_matmul");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let mut r = rng();
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        for (name, device) in devices {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| with_device(device, || a.matmul(&b)));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("device_conv2d");
+    group.sample_size(20);
+    let mut r = rng();
+    let x = Tensor::rand_uniform(&[8, 8, 64, 64], -1.0, 1.0, &mut r);
+    let w = Tensor::rand_uniform(&[16, 8, 3, 3], -1.0, 1.0, &mut r);
+    for (name, device) in devices {
+        group.bench_with_input(BenchmarkId::new(name, "b8c8s64"), &0, |bench, _| {
+            bench.iter(|| with_device(device, || conv2d(&x, &w, None, 1, 1)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("device_pool_softmax_reduce");
+    group.sample_size(20);
+    let mut r = rng();
+    let img = Tensor::rand_uniform(&[8, 16, 64, 64], -1.0, 1.0, &mut r);
+    let logits = Tensor::rand_uniform(&[512, 1024], -1.0, 1.0, &mut r);
+    for (name, device) in devices {
+        group.bench_with_input(BenchmarkId::new(name, "maxpool"), &0, |bench, _| {
+            bench.iter(|| with_device(device, || maxpool2d(&img, 2, 2)));
+        });
+        group.bench_with_input(BenchmarkId::new(name, "softmax"), &0, |bench, _| {
+            bench.iter(|| with_device(device, || logits.softmax_lastdim()));
+        });
+        group.bench_with_input(BenchmarkId::new(name, "sum"), &0, |bench, _| {
+            bench.iter(|| with_device(device, || img.sum()));
+        });
+    }
+    group.finish();
+
+    // Small tensors stay below PARALLEL_THRESHOLD: both devices should cost
+    // the same because dispatch never reaches the pool.
+    let mut group = c.benchmark_group("device_small_dispatch");
+    group.sample_size(50);
+    let mut r = rng();
+    let small = Tensor::rand_uniform(&[64], -1.0, 1.0, &mut r);
+    for (name, device) in devices {
+        group.bench_with_input(BenchmarkId::new(name, "add64"), &0, |bench, _| {
+            bench.iter(|| with_device(device, || small.add(&small)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_glcm, bench_device);
 criterion_main!(benches);

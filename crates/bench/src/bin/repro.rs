@@ -2,11 +2,13 @@
 //! evaluation (§V) on the GeoTorch-RS reproduction.
 //!
 //! ```sh
-//! cargo run --release -p geotorch-bench --bin repro -- [--quick] <experiment>
+//! cargo run --release -p geotorch-bench --bin repro -- [--quick] [--threads N] <experiment>
 //! ```
 //!
 //! Experiments: `fig8`, `table4`, `table5`, `table6`, `table7`, `fig9`,
 //! `table8`, or `all`. `--quick` shrinks scales for a fast smoke run.
+//! `--threads N` pins the Fig. 9 "GPU" (data-parallel) runs to a
+//! `Device::Parallel(N)` worker-pool share instead of every core.
 //!
 //! Results print as markdown and are appended to `results/<name>.md`.
 
@@ -36,7 +38,33 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let chosen: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--quick").collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                })
+        });
+    let mut skip_next = false;
+    let chosen: Vec<&str> = args
+        .iter()
+        .filter_map(|s| {
+            if skip_next {
+                skip_next = false;
+                return None;
+            }
+            if s == "--threads" {
+                skip_next = true;
+                return None;
+            }
+            (s != "--quick").then_some(s.as_str())
+        })
+        .collect();
     let all = ["fig8", "table4", "table5", "table6", "table7", "fig9", "table8"];
     let run: Vec<&str> = if chosen.is_empty() || chosen.contains(&"all") {
         all.to_vec()
@@ -52,7 +80,7 @@ fn main() {
             "table5" => table5(quick),
             "table6" => table6(quick),
             "table7" => table7(quick),
-            "fig9" => fig9(quick),
+            "fig9" => fig9(quick, threads),
             "table8" => table8(quick),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -448,7 +476,7 @@ fn table7(quick: bool) -> String {
 
 // -------------------------------------------------------------- Fig. 9
 
-fn fig9(quick: bool) -> String {
+fn fig9(quick: bool, threads: Option<usize>) -> String {
     let per_class = if quick { 4 } else { 8 };
     let epoch_time = |bands: usize, size: usize, device: Device| -> f64 {
         let dataset = RasterDataset::classification("sweep", bands, size, size, 10, per_class, 0);
@@ -464,7 +492,7 @@ fn fig9(quick: bool) -> String {
                 .mean_epoch_seconds()
         })
     };
-    let parallel = Device::parallel();
+    let parallel = threads.map_or_else(Device::parallel, Device::Parallel);
     let mut band_rows = Vec::new();
     for bands in [3usize, 5, 8, 10, 13] {
         let cpu = epoch_time(bands, 64, Device::Cpu);

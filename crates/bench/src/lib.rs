@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rand::SeedableRng;
 
 use geotorch_core::{TrainConfig, UpdateMode};
+use geotorch_tensor::Device;
 use geotorch_datasets::StGridDataset;
 use geotorch_models::grid::{ConvLstm, DeepStnPlus, PeriodicalCnn, StResNet};
 use geotorch_models::GridModel;
@@ -65,6 +66,7 @@ pub fn paper_train_config(epochs: usize, seed: u64) -> TrainConfig {
         update_mode: UpdateMode::Incremental,
         gradient_clip: None,
         seed,
+        device: Device::Cpu,
     }
 }
 

@@ -22,7 +22,7 @@
 #![warn(missing_docs)]
 
 use geotorch_dataframe::{exec, Column, DataFrame, DfError, DfResult};
-use geotorch_tensor::Tensor;
+use geotorch_tensor::{parallel_map, Tensor, PARALLEL_THRESHOLD};
 
 /// Per-partition formatted rows: flat row-major feature and label
 /// buffers.
@@ -219,6 +219,48 @@ impl RowTransformer {
             out
         })
     }
+
+    /// Materialise every batch at once. Batch construction (row gather,
+    /// reshape, optional transform) fans out over the tensor device worker
+    /// pool when the frame clears `PARALLEL_THRESHOLD` elements; batches
+    /// come back in the same order [`RowTransformer::batches`] streams
+    /// them.
+    pub fn all_batches(&self, frame: &FormattedFrame) -> Vec<(Tensor, Tensor)> {
+        let f_len: usize = frame.feature_shape.iter().product();
+        let l_len: usize = frame.label_shape.iter().product();
+        // Batch spans as (partition, row start, row end); batches never
+        // cross partition boundaries.
+        let mut spans = Vec::new();
+        for (pi, part) in frame.partitions.iter().enumerate() {
+            let mut start = 0;
+            while start < part.rows {
+                let end = (start + self.batch_size).min(part.rows);
+                spans.push((pi, start, end));
+                start = end;
+            }
+        }
+        let build = |(pi, start, end): (usize, usize, usize)| {
+            let part = &frame.partitions[pi];
+            let b = end - start;
+            let mut f_shape = vec![b];
+            f_shape.extend_from_slice(&frame.feature_shape);
+            let mut l_shape = vec![b];
+            l_shape.extend_from_slice(&frame.label_shape);
+            let mut features =
+                Tensor::from_vec(part.features[start * f_len..end * f_len].to_vec(), &f_shape);
+            if let Some(t) = &self.transform {
+                features = t(features);
+            }
+            let labels =
+                Tensor::from_vec(part.labels[start * l_len..end * l_len].to_vec(), &l_shape);
+            (features, labels)
+        };
+        if frame.num_rows() * (f_len + l_len) >= PARALLEL_THRESHOLD {
+            parallel_map(spans.len(), |i| build(spans[i]))
+        } else {
+            spans.into_iter().map(build).collect()
+        }
+    }
 }
 
 /// The naive strategy of §III-C: concatenate every partition into one
@@ -352,5 +394,34 @@ mod tests {
     #[should_panic(expected = "batch_size must be positive")]
     fn zero_batch_size_panics() {
         RowTransformer::new(0);
+    }
+
+    #[test]
+    fn all_batches_matches_streaming_on_parallel_device() {
+        // Large enough to clear PARALLEL_THRESHOLD and exercise the pool.
+        let n = 4096;
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i * 2) as f64).collect();
+        let y: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let df = DataFrame::from_columns(vec![
+            ("a".into(), Column::F64(a)),
+            ("b".into(), Column::F64(b)),
+            ("y".into(), Column::I64(y)),
+        ])
+        .unwrap()
+        .repartition(4)
+        .unwrap();
+        let fmt = DfFormatter::for_classification(&["a", "b"], &[2], "y").unwrap();
+        let frame = fmt.format(&df).unwrap();
+        let rt = RowTransformer::new(64).with_transform(Box::new(|t| t.mul_scalar(0.5)));
+        let streamed: Vec<_> = rt.batches(&frame).collect();
+        let all = geotorch_tensor::with_device(geotorch_tensor::Device::parallel(), || {
+            rt.all_batches(&frame)
+        });
+        assert_eq!(streamed.len(), all.len());
+        for ((sx, sy), (ax, ay)) in streamed.iter().zip(&all) {
+            assert_eq!(sx, ax);
+            assert_eq!(sy, ay);
+        }
     }
 }

@@ -8,7 +8,7 @@ use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};
 use geotorch_nn::loss::{bce_with_logits_loss, cross_entropy_loss, mse_loss};
 use geotorch_nn::optim::{Adam, Optimizer};
 use geotorch_nn::Var;
-use geotorch_tensor::Tensor;
+use geotorch_tensor::{with_device, Device, Tensor};
 
 use crate::metrics;
 
@@ -41,6 +41,10 @@ pub struct TrainConfig {
     pub gradient_clip: Option<f32>,
     /// Shuffling seed.
     pub seed: u64,
+    /// Compute device every `fit_*`/`evaluate_*` call runs under.
+    /// `Device::parallel()` routes the hot kernels through the persistent
+    /// worker pool; the default `Device::Cpu` stays serial.
+    pub device: Device,
 }
 
 impl Default for TrainConfig {
@@ -53,6 +57,7 @@ impl Default for TrainConfig {
             update_mode: UpdateMode::Incremental,
             gradient_clip: None,
             seed: 0,
+            device: Device::Cpu,
         }
     }
 }
@@ -104,9 +109,24 @@ impl Trainer {
 
     // --------------------------------------------------------- grid
 
+    /// Run `f` under the configured compute device.
+    fn on_device<T>(&self, f: impl FnOnce() -> T) -> T {
+        with_device(self.config.device, f)
+    }
+
     /// Train a grid model on chronological train/val splits of `dataset`
     /// (which must already carry the representation the model expects).
     pub fn fit_grid(
+        &self,
+        model: &dyn GridModel,
+        dataset: &StGridDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        self.on_device(|| self.fit_grid_inner(model, dataset, train_idx, val_idx))
+    }
+
+    fn fit_grid_inner(
         &self,
         model: &dyn GridModel,
         dataset: &StGridDataset,
@@ -193,6 +213,15 @@ impl Trainer {
         dataset: &StGridDataset,
         indices: &[usize],
     ) -> (f32, f32) {
+        self.on_device(|| self.evaluate_grid_inner(model, dataset, indices))
+    }
+
+    fn evaluate_grid_inner(
+        &self,
+        model: &dyn GridModel,
+        dataset: &StGridDataset,
+        indices: &[usize],
+    ) -> (f32, f32) {
         model.set_training(false);
         let mut preds = Vec::new();
         let mut targets = Vec::new();
@@ -216,6 +245,16 @@ impl Trainer {
 
     /// Train a raster classifier with cross-entropy.
     pub fn fit_classifier(
+        &self,
+        model: &dyn RasterClassifier,
+        dataset: &RasterDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        self.on_device(|| self.fit_classifier_inner(model, dataset, train_idx, val_idx))
+    }
+
+    fn fit_classifier_inner(
         &self,
         model: &dyn RasterClassifier,
         dataset: &RasterDataset,
@@ -301,6 +340,15 @@ impl Trainer {
         dataset: &RasterDataset,
         indices: &[usize],
     ) -> f32 {
+        self.on_device(|| self.evaluate_classifier_inner(model, dataset, indices))
+    }
+
+    fn evaluate_classifier_inner(
+        &self,
+        model: &dyn RasterClassifier,
+        dataset: &RasterDataset,
+        indices: &[usize],
+    ) -> f32 {
         model.set_training(false);
         let mut correct = 0usize;
         let mut total = 0usize;
@@ -324,6 +372,16 @@ impl Trainer {
 
     /// Train a segmentation model with BCE-with-logits on the masks.
     pub fn fit_segmenter(
+        &self,
+        model: &dyn Segmenter,
+        dataset: &RasterDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        self.on_device(|| self.fit_segmenter_inner(model, dataset, train_idx, val_idx))
+    }
+
+    fn fit_segmenter_inner(
         &self,
         model: &dyn Segmenter,
         dataset: &RasterDataset,
@@ -408,6 +466,15 @@ impl Trainer {
         dataset: &RasterDataset,
         indices: &[usize],
     ) -> f32 {
+        self.on_device(|| self.evaluate_segmenter_inner(model, dataset, indices))
+    }
+
+    fn evaluate_segmenter_inner(
+        &self,
+        model: &dyn Segmenter,
+        dataset: &RasterDataset,
+        indices: &[usize],
+    ) -> f32 {
         model.set_training(false);
         let mut acc_sum = 0.0;
         let mut batches = 0;
@@ -476,6 +543,7 @@ mod tests {
             update_mode: UpdateMode::Incremental,
             gradient_clip: None,
             seed: 0,
+            device: Device::Cpu,
         }
     }
 
@@ -495,6 +563,32 @@ mod tests {
             report.train_losses
         );
         assert!(report.mean_epoch_seconds() > 0.0);
+    }
+
+    #[test]
+    fn parallel_device_trains_like_cpu() {
+        let run = |device: Device| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut ds = StGridDataset::bike_nyc_deepstn(8, 3);
+            ds.set_periodical_representation(2, 1, 1);
+            let model = PeriodicalCnn::new(2, (2, 1, 1), 8, &mut rng);
+            let (train, val, _) = chronological_split(ds.len());
+            let mut config = quick_config(2);
+            config.device = device;
+            let trainer = Trainer::new(config);
+            trainer
+                .fit_grid(&model, &ds, &train[..32.min(train.len())], &val)
+                .train_losses
+        };
+        let cpu = run(Device::Cpu);
+        let par = run(Device::Parallel(4));
+        assert_eq!(cpu.len(), par.len());
+        for (c, p) in cpu.iter().zip(&par) {
+            assert!(
+                (c - p).abs() <= 1e-5 * c.abs().max(1.0),
+                "device-dependent training: cpu {cpu:?} vs parallel {par:?}"
+            );
+        }
     }
 
     #[test]
@@ -534,6 +628,7 @@ mod tests {
             update_mode: UpdateMode::Incremental,
             gradient_clip: None,
             seed: 0,
+            device: Device::Cpu,
         };
         struct Identity;
         impl geotorch_nn::Module for Identity {

@@ -1,8 +1,8 @@
 //! Partition-parallel execution.
 //!
 //! The engine's analogue of Spark's executor pool: independent partitions
-//! are processed concurrently on a crossbeam scope. Parallelism defaults to
-//! the machine's core count and can be overridden per scope with
+//! are processed concurrently on a `std::thread` scope. Parallelism defaults
+//! to the machine's core count and can be overridden per scope with
 //! [`with_parallelism`] — the preprocessing benchmarks use this to compare
 //! single-threaded against multicore execution.
 
@@ -50,17 +50,16 @@ where
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (inputs, outputs) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in inputs.iter().zip(outputs.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("par_map worker panicked");
+    });
     out.into_iter()
         .map(|v| v.expect("all slots filled"))
         .collect()
@@ -91,17 +90,16 @@ where
         }
         queues.push(batch);
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (queue, outputs) in queues.into_iter().zip(slots.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in queue.into_iter().zip(outputs.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("par_map_owned worker panicked");
+    });
     slots
         .into_iter()
         .map(|v| v.expect("all slots filled"))

@@ -6,8 +6,8 @@
 //!
 //! The engine keeps a [`DataFrame`] as a set of *partitions* (column
 //! chunks). Row-parallel operations (filter, projection, map) and
-//! partition-local aggregation run concurrently across a crossbeam worker
-//! scope, mirroring how Spark distributes stages over executors; the final
+//! partition-local aggregation run concurrently across a scoped thread
+//! pool, mirroring how Spark distributes stages over executors; the final
 //! merge step plays the role of the shuffle/reduce. This preserves the
 //! property GeoTorchAI's preprocessing evaluation measures: partitioned,
 //! streaming execution keeps memory flat and scales with cores, while a

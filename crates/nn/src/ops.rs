@@ -12,7 +12,7 @@ use geotorch_tensor::ops::conv::{
 use geotorch_tensor::ops::pool::{
     avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward,
 };
-use geotorch_tensor::Tensor;
+use geotorch_tensor::{parallel_map, Tensor};
 
 use crate::Var;
 
@@ -334,18 +334,23 @@ impl Var {
                 let (oh, ow) = (g.shape()[2], g.shape()[3]);
                 let w_mat = w.reshape(&[o, c * kh * kw]);
                 let w_mat_t = w_mat.transpose();
-                let mut gx_parts = Vec::with_capacity(bsz);
-                let mut gw = Tensor::zeros(&[o, c * kh * kw]);
-                for bi in 0..bsz {
+                // Per-sample gradients are independent, so fan them out over
+                // the device worker pool; summing the weight-gradient parts
+                // in index order keeps the result identical to a serial loop.
+                let parts = parallel_map(bsz, |bi| {
                     let g_mat = g.index_axis(0, bi).reshape(&[o, oh * ow]);
                     // grad wrt input: scatter W^T g back through im2col.
                     let col_g = w_mat_t.matmul(&g_mat);
-                    gx_parts.push(col2im(&col_g, c, h, wd, kh, kw, stride, pad));
+                    let gx_part = col2im(&col_g, c, h, wd, kh, kw, stride, pad);
                     // grad wrt weight: g col^T accumulated over the batch.
                     let col = im2col(&x.index_axis(0, bi), kh, kw, stride, pad);
-                    gw.add_assign(&g_mat.matmul(&col.transpose()));
+                    (gx_part, g_mat.matmul(&col.transpose()))
+                });
+                let mut gw = Tensor::zeros(&[o, c * kh * kw]);
+                for (_, gw_part) in &parts {
+                    gw.add_assign(gw_part);
                 }
-                let gx_refs: Vec<&Tensor> = gx_parts.iter().collect();
+                let gx_refs: Vec<&Tensor> = parts.iter().map(|(gx, _)| gx).collect();
                 let gx = Tensor::stack(&gx_refs);
                 let mut grads = vec![gx, gw.reshape(w.shape())];
                 if has_bias {
@@ -385,19 +390,25 @@ impl Var {
                 let (o, kh, kw) = (w.shape()[1], w.shape()[2], w.shape()[3]);
                 let (gh, gw_sp) = (g.shape()[2], g.shape()[3]);
                 let w_mat = w.reshape(&[c, o * kh * kw]);
-                let mut gx_parts = Vec::with_capacity(bsz);
-                let mut gw_acc = Tensor::zeros(&[c, o * kh * kw]);
-                for bi in 0..bsz {
+                // Per-sample gradients fan out over the worker pool, as in
+                // `conv2d`'s backward pass.
+                let parts = parallel_map(bsz, |bi| {
                     // Forward was: col = w_mat^T x_mat ; y = col2im(col).
                     // Adjoint: grad_col = im2col(grad_y); grad_x = w_mat grad_col;
                     // grad_w = x_mat grad_col^T.
                     let g_img = g.index_axis(0, bi);
                     let grad_col = im2col(&g_img, kh, kw, stride, pad);
                     let x_mat = x.index_axis(0, bi).reshape(&[c, h * wd]);
-                    gx_parts.push(w_mat.matmul(&grad_col).reshape(&[c, h, wd]));
-                    gw_acc.add_assign(&x_mat.matmul(&grad_col.transpose()));
+                    (
+                        w_mat.matmul(&grad_col).reshape(&[c, h, wd]),
+                        x_mat.matmul(&grad_col.transpose()),
+                    )
+                });
+                let mut gw_acc = Tensor::zeros(&[c, o * kh * kw]);
+                for (_, gw_part) in &parts {
+                    gw_acc.add_assign(gw_part);
                 }
-                let gx_refs: Vec<&Tensor> = gx_parts.iter().collect();
+                let gx_refs: Vec<&Tensor> = parts.iter().map(|(gx, _)| gx).collect();
                 let gx = Tensor::stack(&gx_refs);
                 let mut grads = vec![gx, gw_acc.reshape(w.shape())];
                 if has_bias {

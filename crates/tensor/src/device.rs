@@ -1,21 +1,55 @@
-//! Execution-device selection and the data-parallel helper used by kernels.
+//! Execution-device selection and the persistent data-parallel worker pool.
 //!
 //! GeoTorchAI's evaluation compares CPU against GPU training. This
 //! reproduction has no GPU, so the same axis is modelled as *serial* versus
 //! *data-parallel multicore* execution: [`Device::Cpu`] runs every kernel on
-//! the calling thread, while [`Device::Parallel`] splits heavy kernels
-//! across a crossbeam scope. The substitution preserves the property under
-//! test (a data-parallel backend amortises per-sample work), which is what
-//! Figure 9 of the paper measures.
+//! the calling thread, while [`Device::Parallel`] fans heavy kernels out
+//! across a **persistent worker pool**. The substitution preserves the
+//! property under test (a data-parallel backend amortises per-sample work),
+//! which is what Figure 9 of the paper measures.
+//!
+//! # The worker pool
+//!
+//! Parallel dispatch used to spawn `n` fresh OS threads per kernel call,
+//! which priced small kernels out of the parallel path entirely. Instead,
+//! a process-wide pool is initialized lazily on the first parallel
+//! dispatch and reused for every subsequent one:
+//!
+//! - **Sizing.** `Device::Parallel(n)` requests `n`-way splitting; the pool
+//!   grows on demand to the largest concurrent demand it has seen, capped
+//!   at [`MAX_POOL_WORKERS`]. Workers are plain parked threads — idle cost
+//!   is one blocked thread each, no spinning.
+//! - **Dispatch.** [`parallel_for`] splits `0..tasks` into contiguous
+//!   ranges, *claims* idle workers with a lock-free flag, hands each one a
+//!   range, and runs the first range (plus any range it could not claim a
+//!   worker for) inline on the calling thread. Claimed workers are woken by
+//!   a condvar; dispatch cost is a wakeup, not a thread spawn.
+//! - **Nesting / deadlock freedom.** Claiming never blocks: if every worker
+//!   is busy (for example inside a nested `parallel_for`, or when several
+//!   trainer threads dispatch concurrently) the caller simply runs all
+//!   ranges serially. Worker threads themselves default to [`Device::Cpu`],
+//!   so kernels nested inside a parallel region stay serial rather than
+//!   re-entering the pool.
+//! - **Panics.** A panicking kernel closure is caught on the worker, the
+//!   dispatch drains normally, and the payload is re-thrown on the calling
+//!   thread. Workers survive panics and return to the idle set, so the pool
+//!   stays usable for the next dispatch.
+//!
+//! Kernels guard the parallel path with [`PARALLEL_THRESHOLD`]: tensors
+//! with fewer elements than the threshold stay serial because even a
+//! wakeup costs more than the work itself.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Where tensor kernels execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Device {
     /// Serial execution on the calling thread (the paper's "CPU").
     Cpu,
-    /// Data-parallel execution over `n` worker threads (the paper's "GPU").
+    /// Data-parallel execution over `n` pool workers (the paper's "GPU").
     Parallel(usize),
 }
 
@@ -28,7 +62,7 @@ impl Device {
         Device::Parallel(n.max(1))
     }
 
-    /// Number of worker threads this device fans out to.
+    /// Number of ways this device splits a kernel (caller + pool workers).
     pub fn threads(self) -> usize {
         match self {
             Device::Cpu => 1,
@@ -65,63 +99,276 @@ pub fn with_device<T>(device: Device, f: impl FnOnce() -> T) -> T {
     f()
 }
 
-/// A raw `*mut f32` that may cross thread boundaries. Only for writes to
+/// A raw `*mut T` that may cross thread boundaries. Only for writes to
 /// provably disjoint regions inside this crate's kernels.
-pub(crate) struct SendPtr(pub *mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+pub(crate) struct SendPtr<T = f32>(pub *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 /// Minimum number of elements before elementwise kernels bother going
-/// parallel; below this the spawn overhead dominates.
-pub(crate) const PARALLEL_THRESHOLD: usize = 16 * 1024;
+/// parallel; below this the dispatch overhead dominates.
+pub const PARALLEL_THRESHOLD: usize = 16 * 1024;
+
+/// Hard cap on pool size; demand beyond this runs inline on callers.
+pub const MAX_POOL_WORKERS: usize = 64;
+
+// ------------------------------------------------------------------ pool
+
+/// A contiguous range of task indices plus the (lifetime-erased) kernel
+/// closure to run it with and the dispatch to report back to.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    start: usize,
+    end: usize,
+    dispatch: Arc<Dispatch>,
+}
+
+/// Per-dispatch completion accounting shared by caller and workers.
+struct Dispatch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Dispatch {
+    fn new(jobs: usize) -> Self {
+        Dispatch {
+            remaining: Mutex::new(jobs),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = lock(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = lock(&self.remaining);
+        while *remaining > 0 {
+            remaining = self
+                .done
+                .wait(remaining)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One parked pool thread: a claim flag plus a condvar-guarded job slot.
+struct Worker {
+    /// `true` while a dispatcher owns this worker or it is running a job.
+    claimed: AtomicBool,
+    slot: Mutex<Option<Job>>,
+    wake: Condvar,
+}
+
+impl Worker {
+    fn run(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut slot = lock(&self.slot);
+                loop {
+                    if let Some(job) = slot.take() {
+                        break job;
+                    }
+                    slot = self.wake.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in job.start..job.end {
+                    (job.f)(i);
+                }
+            }));
+            if let Err(payload) = result {
+                let mut panic = lock(&job.dispatch.panic);
+                // First panic wins; later ones are dropped like in
+                // `std::thread::scope`.
+                panic.get_or_insert(payload);
+            }
+            // Return to the idle set *before* signalling completion so a
+            // dispatch that immediately follows can re-claim this worker.
+            self.claimed.store(false, Ordering::Release);
+            job.dispatch.finish_one();
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut slot = lock(&self.slot);
+        debug_assert!(slot.is_none(), "claimed worker already has a job");
+        *slot = Some(job);
+        self.wake.notify_one();
+    }
+}
+
+/// The process-wide worker set. Grows lazily, never shrinks.
+struct Pool {
+    workers: Mutex<Vec<Arc<Worker>>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool { workers: Mutex::new(Vec::new()) })
+}
+
+impl Pool {
+    /// Claim up to `want` idle workers, spawning new ones while under the
+    /// cap. Never blocks on busy workers — may return fewer than `want`
+    /// (including zero), in which case the caller runs those ranges inline.
+    fn claim(&self, want: usize) -> Vec<Arc<Worker>> {
+        let mut claimed = Vec::with_capacity(want);
+        let mut workers = lock(&self.workers);
+        for worker in workers.iter() {
+            if claimed.len() == want {
+                break;
+            }
+            if worker
+                .claimed
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                claimed.push(Arc::clone(worker));
+            }
+        }
+        while claimed.len() < want && workers.len() < MAX_POOL_WORKERS {
+            let worker = Arc::new(Worker {
+                claimed: AtomicBool::new(true),
+                slot: Mutex::new(None),
+                wake: Condvar::new(),
+            });
+            let handle = Arc::clone(&worker);
+            std::thread::Builder::new()
+                .name(format!("geotorch-pool-{}", workers.len()))
+                .spawn(move || handle.run())
+                .expect("spawn pool worker");
+            workers.push(Arc::clone(&worker));
+            claimed.push(worker);
+        }
+        claimed
+    }
+
+    fn size(&self) -> usize {
+        lock(&self.workers).len()
+    }
+}
+
+/// Number of worker threads the pool has spawned so far (diagnostics;
+/// the count only grows, proving dispatches reuse workers).
+pub fn worker_pool_size() -> usize {
+    pool().size()
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fan `f` out over `ways` contiguous ranges of `0..tasks` using the pool.
+/// Blocks until every range has completed; panics from `f` (on any thread)
+/// are re-thrown here after the dispatch has fully drained.
+fn pool_dispatch(tasks: usize, ways: usize, f: &(dyn Fn(usize) + Sync)) {
+    let chunk = tasks.div_ceil(ways);
+    let ranges: Vec<(usize, usize)> = (0..ways)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(tasks)))
+        .filter(|(start, end)| start < end)
+        .collect();
+    // The caller always keeps the first range for itself, so a dispatch
+    // costs at most `ranges - 1` wakeups and zero thread spawns.
+    let workers = pool().claim(ranges.len() - 1);
+    let inline = ranges.len() - workers.len();
+    let dispatch = Arc::new(Dispatch::new(workers.len()));
+    // SAFETY: the erased closure reference only lives in `Job`s belonging
+    // to this dispatch, and this function does not return before `wait()`
+    // has observed every job finished — the borrow of `f` outlives all use.
+    let erased: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+    for (worker, &(start, end)) in workers.iter().zip(&ranges[inline..]) {
+        worker.submit(Job { f: erased, start, end, dispatch: Arc::clone(&dispatch) });
+    }
+    let inline_result = catch_unwind(AssertUnwindSafe(|| {
+        for &(start, end) in &ranges[..inline] {
+            for i in start..end {
+                f(i);
+            }
+        }
+    }));
+    dispatch.wait();
+    let worker_panic = lock(&dispatch.panic).take();
+    if let Err(payload) = inline_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
 
 /// Run `f(task_index)` for every index in `0..tasks`, fanned out over the
-/// current device's worker threads. Tasks are distributed in contiguous
-/// ranges; `f` must be safe to call concurrently for distinct indices.
+/// current device's share of the worker pool. Tasks are distributed in
+/// contiguous ranges; `f` must be safe to call concurrently for distinct
+/// indices.
 pub fn parallel_for(tasks: usize, f: impl Fn(usize) + Sync) {
-    let threads = Device::current().threads().min(tasks.max(1));
-    if threads <= 1 || tasks <= 1 {
+    let ways = Device::current().threads().min(tasks.max(1));
+    if ways <= 1 || tasks <= 1 {
         for i in 0..tasks {
             f(i);
         }
         return;
     }
-    let chunk = tasks.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(tasks);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            scope.spawn(move |_| {
-                for i in start..end {
-                    f(i);
-                }
-            });
-        }
-    })
-    .expect("parallel_for worker panicked");
+    pool_dispatch(tasks, ways, &f);
 }
 
-/// Apply `f` to equal chunks of `out`, in parallel on the current device.
-/// `f` receives the element offset of the chunk and the chunk itself.
+/// Run `f(task_index)` for every index in `0..tasks` on the current
+/// device's share of the worker pool, collecting the results in index
+/// order. The safe sibling of [`parallel_for`] for fan-out that produces a
+/// value per task (e.g. per-batch-sample gradients).
+pub fn parallel_map<T: Send>(tasks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(tasks);
+    out.resize_with(tasks, std::mem::MaybeUninit::uninit);
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    parallel_for(tasks, move |i| {
+        // SAFETY: each task writes exactly its own slot. If a task panics the
+        // dispatch drains and rethrows; initialised slots leak (MaybeUninit
+        // never drops), which is safe.
+        unsafe { base.0.add(i).write(std::mem::MaybeUninit::new(f(i))) };
+    });
+    // SAFETY: parallel_for returned normally, so every slot is initialised;
+    // MaybeUninit<T> has the same layout as T.
+    let mut out = std::mem::ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut T, out.len(), out.capacity()) }
+}
+
+/// Apply `f` to contiguous chunks of `out`, in parallel on the current
+/// device. `f` receives the element offset of the chunk and the chunk
+/// itself. Chunks are at least `min_chunk` elements, so slices smaller
+/// than `2 * min_chunk` stay on the calling thread.
 pub fn parallel_chunks_mut(out: &mut [f32], min_chunk: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
-    let threads = Device::current().threads();
+    let ways = Device::current().threads();
     let len = out.len();
-    if threads <= 1 || len < min_chunk * 2 {
+    if ways <= 1 || len < min_chunk.max(1) * 2 {
         f(0, out);
         return;
     }
-    let chunk = len.div_ceil(threads).max(min_chunk);
-    crossbeam::scope(|scope| {
-        for (idx, part) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| f(idx * chunk, part));
-        }
-    })
-    .expect("parallel_chunks_mut worker panicked");
+    let chunk = len.div_ceil(ways).max(min_chunk);
+    let chunks = len.div_ceil(chunk);
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    parallel_for(chunks, move |i| {
+        let start = i * chunk;
+        let end = ((i + 1) * chunk).min(len);
+        // SAFETY: chunk ranges are disjoint and in-bounds for `out`, which
+        // outlives the dispatch (parallel_for blocks until completion).
+        let part = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+        f(start, part);
+    });
 }
 
 #[cfg(test)]
@@ -203,5 +450,118 @@ mod tests {
         assert_eq!(Device::Parallel(6).threads(), 6);
         assert_eq!(Device::Parallel(0).threads(), 1);
         assert!(Device::parallel().threads() >= 1);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_dispatches() {
+        with_device(Device::Parallel(4), || {
+            // Warm the pool, then check that repeated dispatches do not
+            // grow it: the same parked workers serve every call.
+            parallel_for(100, |_| {});
+            let size_after_first = worker_pool_size();
+            assert!(size_after_first >= 1, "first dispatch must populate the pool");
+            for _ in 0..50 {
+                parallel_for(100, |_| {});
+            }
+            assert_eq!(
+                worker_pool_size(),
+                size_after_first,
+                "steady-state dispatches must not spawn threads"
+            );
+        });
+    }
+
+    #[test]
+    fn pool_never_exceeds_cap() {
+        with_device(Device::Parallel(MAX_POOL_WORKERS * 4), || {
+            parallel_for(MAX_POOL_WORKERS * 8, |_| {});
+            assert!(worker_pool_size() <= MAX_POOL_WORKERS);
+        });
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_stays_usable() {
+        with_device(Device::Parallel(4), || {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(1000, |i| {
+                    if i == 977 {
+                        panic!("kernel exploded on task {i}");
+                    }
+                });
+            }));
+            let payload = result.expect_err("panic must reach the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("kernel exploded"), "payload: {msg}");
+
+            // The pool must keep working after the panic: every worker
+            // returned to the idle set.
+            for _ in 0..10 {
+                let hits = AtomicUsize::new(0);
+                parallel_for(1000, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), 1000);
+            }
+        });
+    }
+
+    #[test]
+    fn panic_on_caller_range_still_drains_workers() {
+        with_device(Device::Parallel(4), || {
+            // Task 0 always lands on the calling thread.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(1000, |i| {
+                    if i == 0 {
+                        panic!("inline range panicked");
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            let hits = AtomicUsize::new(0);
+            parallel_for(64, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+        });
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        with_device(Device::Parallel(4), || {
+            let hits = AtomicUsize::new(0);
+            parallel_for(8, |_| {
+                // Workers default to Device::Cpu, so this inner call is
+                // serial — but it must not deadlock or double-count even
+                // when the caller's inline range re-enters parallel_for.
+                with_device(Device::Parallel(2), || {
+                    parallel_for(16, |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8 * 16);
+        });
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_many_threads() {
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    with_device(Device::Parallel(4), || {
+                        for _ in 0..20 {
+                            let hits = AtomicUsize::new(0);
+                            parallel_for(500, |_| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                            assert_eq!(hits.load(Ordering::Relaxed), 500);
+                        }
+                    });
+                });
+            }
+        });
     }
 }

@@ -17,8 +17,11 @@
 //!   O(1), and in-place ops copy only when the buffer is shared.
 //! * The execution backend is selected through [`Device`]: `Device::Cpu`
 //!   runs kernels on the calling thread, `Device::parallel()` fans heavy
-//!   kernels (matmul, conv, large elementwise ops) out across a crossbeam
-//!   scope. In the paper's experiments this models the GPU-vs-CPU axis.
+//!   kernels (matmul, conv, pooling, reductions, softmax, large elementwise
+//!   ops and the backward passes) out across a persistent worker pool that
+//!   is woken per dispatch instead of spawning threads per call — see
+//!   [`device`] for the pool design. In the paper's experiments this models
+//!   the GPU-vs-CPU axis.
 //! * Shape errors are programming errors and **panic** with descriptive
 //!   messages, mirroring the behaviour of `ndarray` and PyTorch's eager
 //!   mode. Fallible, data-dependent APIs live in the higher-level crates.
@@ -41,7 +44,7 @@ pub mod device;
 pub mod ops;
 mod tensor;
 
-pub use device::{with_device, Device};
+pub use device::{parallel_map, with_device, worker_pool_size, Device, PARALLEL_THRESHOLD};
 pub use tensor::Tensor;
 
 /// Row-major strides (in elements) for a shape.

@@ -1,5 +1,10 @@
 //! Pooling kernels (NCHW).
+//!
+//! Every kernel here decomposes over the `B*C` image planes, which write
+//! disjoint regions of the output — so planes fan out over the device
+//! worker pool when the tensor clears [`PARALLEL_THRESHOLD`].
 
+use crate::device::{parallel_for, SendPtr, PARALLEL_THRESHOLD};
 use crate::ops::conv::conv_out_len;
 use crate::Tensor;
 
@@ -19,7 +24,12 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
     let src = input.as_slice();
     let mut out = vec![0.0f32; b * c * oh * ow];
     let mut argmax = vec![0usize; b * c * oh * ow];
-    for bc in 0..b * c {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let arg_ptr = SendPtr(argmax.as_mut_ptr());
+    let plane = move |bc: usize| {
+        // Capture the whole SendPtr (not just its raw-pointer field) so the
+        // closure stays Sync under edition-2021 disjoint capture.
+        let (out_ptr, arg_ptr) = (out_ptr, arg_ptr);
         let img_base = bc * h * w;
         for oi in 0..oh {
             for oj in 0..ow {
@@ -36,10 +46,18 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
                     }
                 }
                 let o_idx = (bc * oh + oi) * ow + oj;
-                out[o_idx] = best;
-                argmax[o_idx] = best_idx;
+                // SAFETY: plane `bc` owns output range [bc*oh*ow, (bc+1)*oh*ow).
+                unsafe {
+                    *out_ptr.0.add(o_idx) = best;
+                    *arg_ptr.0.add(o_idx) = best_idx;
+                }
             }
         }
+    };
+    if input.len() >= PARALLEL_THRESHOLD {
+        parallel_for(b * c, &plane);
+    } else {
+        (0..b * c).for_each(plane);
     }
     (Tensor::from_vec(out, &[b, c, oh, ow]), argmax)
 }
@@ -47,9 +65,33 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
 /// Scatter `grad` back through the argmax indices from [`maxpool2d`].
 pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(grad.len(), argmax.len(), "maxpool backward length mismatch");
-    let mut out = vec![0.0f32; crate::numel(input_shape)];
-    for (g, &idx) in grad.as_slice().iter().zip(argmax) {
-        out[idx] += g;
+    let numel = crate::numel(input_shape);
+    let mut out = vec![0.0f32; numel];
+    let g = grad.as_slice();
+    let planes = input_shape[0] * input_shape[1];
+    let plane_out = grad.len() / planes.max(1);
+    if numel >= PARALLEL_THRESHOLD && planes > 1 && grad.len() % planes == 0 {
+        // Argmax indices always point inside their own `bc` image plane, so
+        // scattering plane-by-plane writes disjoint regions of `out`.
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let plane_in = numel / planes;
+        parallel_for(planes, move |bc| {
+            let out_ptr = out_ptr;
+            let lo = bc * plane_in;
+            let hi = lo + plane_in;
+            for o in bc * plane_out..(bc + 1) * plane_out {
+                let idx = argmax[o];
+                // Real assert, not debug: argmax is caller-supplied, and an
+                // out-of-plane index would race with another worker.
+                assert!((lo..hi).contains(&idx), "argmax escaped its plane");
+                // SAFETY: `idx` lies in plane `bc`'s disjoint range.
+                unsafe { *out_ptr.0.add(idx) += g[o] };
+            }
+        });
+    } else {
+        for (gv, &idx) in g.iter().zip(argmax) {
+            out[idx] += gv;
+        }
     }
     Tensor::from_vec(out, input_shape)
 }
@@ -68,7 +110,9 @@ pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
     let inv = 1.0 / (kernel * kernel) as f32;
     let src = input.as_slice();
     let mut out = vec![0.0f32; b * c * oh * ow];
-    for bc in 0..b * c {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let plane = move |bc: usize| {
+        let out_ptr = out_ptr;
         let img_base = bc * h * w;
         for oi in 0..oh {
             for oj in 0..ow {
@@ -79,9 +123,15 @@ pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
                         acc += src[row + kj];
                     }
                 }
-                out[(bc * oh + oi) * ow + oj] = acc * inv;
+                // SAFETY: plane `bc` owns output range [bc*oh*ow, (bc+1)*oh*ow).
+                unsafe { *out_ptr.0.add((bc * oh + oi) * ow + oj) = acc * inv };
             }
         }
+    };
+    if input.len() >= PARALLEL_THRESHOLD {
+        parallel_for(b * c, &plane);
+    } else {
+        (0..b * c).for_each(plane);
     }
     Tensor::from_vec(out, &[b, c, oh, ow])
 }
@@ -103,7 +153,9 @@ pub fn avgpool2d_backward(
     let inv = 1.0 / (kernel * kernel) as f32;
     let g = grad.as_slice();
     let mut out = vec![0.0f32; b * c * h * w];
-    for bc in 0..b * c {
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let plane = move |bc: usize| {
+        let out_ptr = out_ptr;
         let img_base = bc * h * w;
         for oi in 0..oh {
             for oj in 0..ow {
@@ -111,11 +163,18 @@ pub fn avgpool2d_backward(
                 for ki in 0..kernel {
                     let row = img_base + (oi * stride + ki) * w + oj * stride;
                     for kj in 0..kernel {
-                        out[row + kj] += gv;
+                        // SAFETY: all windows of plane `bc` lie inside its
+                        // disjoint image range [bc*h*w, (bc+1)*h*w).
+                        unsafe { *out_ptr.0.add(row + kj) += gv };
                     }
                 }
             }
         }
+    };
+    if out.len() >= PARALLEL_THRESHOLD {
+        parallel_for(b * c, &plane);
+    } else {
+        (0..b * c).for_each(plane);
     }
     Tensor::from_vec(out, input_shape)
 }
@@ -132,8 +191,18 @@ pub fn global_avgpool2d(input: &Tensor) -> Tensor {
     let inv = 1.0 / (h * w) as f32;
     let src = input.as_slice();
     let mut out = vec![0.0f32; b * c];
-    for (bc, o) in out.iter_mut().enumerate() {
-        *o = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+    if input.len() >= PARALLEL_THRESHOLD {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        parallel_for(b * c, move |bc| {
+            let out_ptr = out_ptr;
+            let mean = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+            // SAFETY: each plane writes exactly its own `out[bc]` slot.
+            unsafe { *out_ptr.0.add(bc) = mean };
+        });
+    } else {
+        for (bc, o) in out.iter_mut().enumerate() {
+            *o = src[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+        }
     }
     Tensor::from_vec(out, &[b, c])
 }

@@ -1,12 +1,45 @@
 //! Reductions: full-tensor and per-axis.
+//!
+//! Full-tensor reductions split the buffer into fixed-size chunks, reduce
+//! each chunk on the device worker pool, and combine the per-chunk partials
+//! in chunk order — so the parallel result is deterministic for a given
+//! length. Axis reductions fan out over the `outer` dimension instead, each
+//! task writing a disjoint row of the output.
 
+use crate::device::{parallel_for, SendPtr, PARALLEL_THRESHOLD};
 use crate::Tensor;
+
+/// Chunk length for parallel full-tensor reductions.
+const REDUCE_CHUNK: usize = 64 * 1024;
+
+/// Reduce each `REDUCE_CHUNK`-sized chunk of `data` with `f` on the worker
+/// pool, returning the per-chunk partials in chunk order.
+fn chunk_partials(data: &[f32], f: impl Fn(&[f32]) -> f64 + Sync) -> Vec<f64> {
+    let chunks = data.len().div_ceil(REDUCE_CHUNK).max(1);
+    let mut out = vec![0.0f64; chunks];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    parallel_for(chunks, move |i| {
+        let out_ptr = out_ptr;
+        let lo = i * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(data.len());
+        // SAFETY: each chunk writes exactly its own `out[i]` slot.
+        unsafe { *out_ptr.0.add(i) = f(&data[lo..hi]) };
+    });
+    out
+}
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        // Pairwise-ish accumulation in f64 keeps large reductions accurate.
-        self.as_slice().iter().map(|&v| v as f64).sum::<f64>() as f32
+        let data = self.as_slice();
+        if data.len() >= PARALLEL_THRESHOLD {
+            chunk_partials(data, |c| c.iter().map(|&v| v as f64).sum())
+                .iter()
+                .sum::<f64>() as f32
+        } else {
+            // Accumulation in f64 keeps large reductions accurate.
+            data.iter().map(|&v| v as f64).sum::<f64>() as f32
+        }
     }
 
     /// Mean of all elements (`NaN` for empty tensors).
@@ -19,12 +52,30 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        let data = self.as_slice();
+        if data.len() >= PARALLEL_THRESHOLD {
+            chunk_partials(data, |c| {
+                c.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64
+            })
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b)) as f32
+        } else {
+            data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        }
     }
 
     /// Minimum element (`+inf` for empty tensors).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        let data = self.as_slice();
+        if data.len() >= PARALLEL_THRESHOLD {
+            chunk_partials(data, |c| {
+                c.iter().copied().fold(f32::INFINITY, f32::min) as f64
+            })
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b)) as f32
+        } else {
+            data.iter().copied().fold(f32::INFINITY, f32::min)
+        }
     }
 
     /// Population variance of all elements.
@@ -33,14 +84,20 @@ impl Tensor {
             return f32::NAN;
         }
         let mean = self.mean() as f64;
-        let ss: f64 = self
-            .as_slice()
-            .iter()
-            .map(|&v| {
-                let d = v as f64 - mean;
-                d * d
-            })
-            .sum();
+        let data = self.as_slice();
+        let sum_sq = |c: &[f32]| {
+            c.iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+        };
+        let ss: f64 = if data.len() >= PARALLEL_THRESHOLD {
+            chunk_partials(data, sum_sq).iter().sum()
+        } else {
+            sum_sq(data)
+        };
         (ss / self.len() as f64) as f32
     }
 
@@ -96,21 +153,38 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "argmax_rows requires a 2-D tensor");
         let (rows, cols) = (self.shape()[0], self.shape()[1]);
         let data = self.as_slice();
-        (0..rows)
-            .map(|r| {
-                let row = &data[r * cols..(r + 1) * cols];
-                let mut best = 0;
-                for (c, &v) in row.iter().enumerate() {
-                    if v > row[best] {
-                        best = c;
-                    }
+        let row_best = |r: usize| {
+            let row = &data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (c, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = c;
                 }
-                best
-            })
-            .collect()
+            }
+            best
+        };
+        let mut out = vec![0usize; rows];
+        if data.len() >= PARALLEL_THRESHOLD && rows > 1 {
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            parallel_for(rows, move |r| {
+                let out_ptr = out_ptr;
+                // SAFETY: each row writes exactly its own `out[r]` slot.
+                unsafe { *out_ptr.0.add(r) = row_best(r) };
+            });
+        } else {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = row_best(r);
+            }
+        }
+        out
     }
 
-    fn reduce_axis_keepdim(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn reduce_axis_keepdim(
+        &self,
+        axis: usize,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         assert!(
             axis < self.ndim(),
             "axis {} out of range for shape {:?}",
@@ -123,16 +197,27 @@ impl Tensor {
         let inner: usize = shape[axis + 1..].iter().product();
         let data = self.as_slice();
         let mut out = vec![init; outer * inner];
-        for o in 0..outer {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let f = &f;
+        let reduce_outer = move |o: usize| {
+            let out_ptr = out_ptr;
             let src_base = o * n * inner;
             let dst_base = o * inner;
             for k in 0..n {
                 let row = &data[src_base + k * inner..src_base + (k + 1) * inner];
-                let dst = &mut out[dst_base..dst_base + inner];
-                for (d, &v) in dst.iter_mut().zip(row) {
-                    *d = f(*d, v);
+                for (j, &v) in row.iter().enumerate() {
+                    // SAFETY: task `o` owns output range [o*inner, (o+1)*inner).
+                    unsafe {
+                        let d = out_ptr.0.add(dst_base + j);
+                        *d = f(*d, v);
+                    }
                 }
             }
+        };
+        if data.len() >= PARALLEL_THRESHOLD && outer > 1 {
+            parallel_for(outer, &reduce_outer);
+        } else {
+            (0..outer).for_each(reduce_outer);
         }
         let mut out_shape = shape.to_vec();
         out_shape[axis] = 1;

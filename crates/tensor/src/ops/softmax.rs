@@ -1,5 +1,10 @@
 //! Row-wise softmax and log-softmax over the last axis.
+//!
+//! Each row writes a disjoint `cols`-wide slice of the output, so rows fan
+//! out over the device worker pool once the tensor clears
+//! [`PARALLEL_THRESHOLD`].
 
+use crate::device::{parallel_for, SendPtr, PARALLEL_THRESHOLD};
 use crate::Tensor;
 
 impl Tensor {
@@ -11,19 +16,29 @@ impl Tensor {
         let rows = self.len() / cols;
         let src = self.as_slice();
         let mut out = vec![0.0f32; self.len()];
-        for r in 0..rows {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let do_row = move |r: usize| {
+            let out_ptr = out_ptr;
             let row = &src[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let dst = &mut out[r * cols..(r + 1) * cols];
             let mut sum = 0.0;
-            for (d, &v) in dst.iter_mut().zip(row) {
-                *d = (v - m).exp();
-                sum += *d;
+            // SAFETY: row `r` owns output range [r*cols, (r+1)*cols).
+            unsafe {
+                for (j, &v) in row.iter().enumerate() {
+                    let e = (v - m).exp();
+                    *out_ptr.0.add(r * cols + j) = e;
+                    sum += e;
+                }
+                let inv = 1.0 / sum;
+                for j in 0..cols {
+                    *out_ptr.0.add(r * cols + j) *= inv;
+                }
             }
-            let inv = 1.0 / sum;
-            for d in dst.iter_mut() {
-                *d *= inv;
-            }
+        };
+        if self.len() >= PARALLEL_THRESHOLD && rows > 1 {
+            parallel_for(rows, &do_row);
+        } else {
+            (0..rows).for_each(do_row);
         }
         Tensor::from_vec(out, self.shape())
     }
@@ -34,13 +49,21 @@ impl Tensor {
         let rows = self.len() / cols;
         let src = self.as_slice();
         let mut out = vec![0.0f32; self.len()];
-        for r in 0..rows {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let do_row = move |r: usize| {
+            let out_ptr = out_ptr;
             let row = &src[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            for (d, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
-                *d = v - lse;
+            for (j, &v) in row.iter().enumerate() {
+                // SAFETY: row `r` owns output range [r*cols, (r+1)*cols).
+                unsafe { *out_ptr.0.add(r * cols + j) = v - lse };
             }
+        };
+        if self.len() >= PARALLEL_THRESHOLD && rows > 1 {
+            parallel_for(rows, &do_row);
+        } else {
+            (0..rows).for_each(do_row);
         }
         Tensor::from_vec(out, self.shape())
     }
@@ -90,5 +113,16 @@ mod tests {
         let t = Tensor::zeros(&[1, 4]);
         let s = t.softmax_lastdim();
         assert!(s.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn large_tensor_takes_parallel_path() {
+        // 64 rows x 1024 cols clears PARALLEL_THRESHOLD.
+        let t = Tensor::arange(64 * 1024).reshape(&[64, 1024]).mul_scalar(1e-3);
+        let s = crate::with_device(crate::Device::parallel(), || t.softmax_lastdim());
+        for r in 0..64 {
+            let sum: f32 = s.as_slice()[r * 1024..(r + 1) * 1024].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
     }
 }

@@ -205,31 +205,31 @@ impl fmt::Debug for Tensor {
 }
 
 impl serde::Serialize for Tensor {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut s = serializer.serialize_struct("Tensor", 2)?;
-        s.serialize_field("shape", &self.shape)?;
-        s.serialize_field("data", self.as_slice())?;
-        s.end()
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("shape".to_string(), self.shape.to_value()),
+            ("data".to_string(), self.as_slice().to_value()),
+        ])
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Tensor {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            shape: Vec<usize>,
-            data: Vec<f32>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        if raw.data.len() != numel(&raw.shape) {
-            return Err(serde::de::Error::custom(format!(
+impl serde::Deserialize for Tensor {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("missing tensor field `{name}`")))
+        };
+        let shape = Vec::<usize>::from_value(field("shape")?)?;
+        let data = Vec::<f32>::from_value(field("data")?)?;
+        if data.len() != numel(&shape) {
+            return Err(serde::DeError::custom(format!(
                 "tensor data length {} does not match shape {:?}",
-                raw.data.len(),
-                raw.shape
+                data.len(),
+                shape
             )));
         }
-        Ok(Tensor::from_vec(raw.data, &raw.shape.clone()))
+        Ok(Tensor::from_vec(data, &shape))
     }
 }
 

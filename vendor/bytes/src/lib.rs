@@ -1,0 +1,234 @@
+//! Offline vendored subset of the `bytes` crate: [`Bytes`], [`BytesMut`],
+//! and the little-endian [`Buf`]/[`BufMut`] accessors the GTRF raster
+//! container uses. Backed by plain `Vec<u8>`/`Arc` storage — no
+//! zero-copy slicing tricks, which the workspace does not need.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data: Arc::new(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian write accessors.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian read accessors over an advancing cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dest: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut buf = [0u8; 1];
+        self.copy_to_slice(&mut buf);
+        buf[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut buf = [0u8; 2];
+        self.copy_to_slice(&mut buf);
+        u16::from_le_bytes(buf)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.copy_to_slice(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.copy_to_slice(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        assert!(
+            dest.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dest.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dest.len());
+        dest.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u16_le(7);
+        buf.put_u32_le(0xDEADBEEF);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_f32_le(-1.25);
+        buf.put_f64_le(6.02e23);
+        buf.put_slice(b"xy");
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u16_le(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 3);
+        assert_eq!(cursor.get_f32_le(), -1.25);
+        assert_eq!(cursor.get_f64_le(), 6.02e23);
+        let mut tail = [0u8; 2];
+        cursor.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_advances_and_reports_remaining() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cursor: &[u8] = &data;
+        assert_eq!(cursor.remaining(), 5);
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.remaining(), 4);
+        assert_eq!(cursor.get_u32_le(), u32::from_le_bytes([2, 3, 4, 5]));
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        cursor.get_u32_le();
+    }
+
+    #[test]
+    fn bytes_slices_and_indexes() {
+        let b = Bytes::from_vec(vec![9, 8, 7, 6]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..2], &[9, 8]);
+        assert_eq!(b.to_vec(), vec![9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Keeps the `criterion` 0.5 call surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`criterion_group!`]/[`criterion_main!`] — while
+//! replacing the statistics engine with a simple warmup + median-of-N
+//! timer that prints one line per benchmark. Honors a substring filter
+//! argument (as `cargo bench -- <filter>` passes) and ignores the rest
+//! of criterion's CLI flags.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None }
+    }
+}
+
+impl Criterion {
+    /// Parse the benchmark binary's CLI arguments: the first
+    /// non-flag argument is a substring filter; criterion's own flags
+    /// are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags that take a value in real criterion.
+                "--sample-size" | "--warm-up-time" | "--measurement-time"
+                | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--output-format" | "--color" | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.to_string(), |bencher| routine(bencher));
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{full:<60} time: [{} {} {}]",
+            format_duration(lo),
+            format_duration(median),
+            format_duration(hi)
+        );
+    }
+}
+
+/// Timing driver passed to each benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: time one call, then pick an iteration
+        // count putting each sample in the ~2ms range so cheap routines
+        // are not measured at timer resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut group_samples = 0;
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::new("work", 1), &1, |bench, _| {
+            bench.iter(|| black_box(2 + 2));
+            group_samples = bench.samples.len();
+        });
+        group.finish();
+        assert_eq!(group_samples, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut ran = false;
+        let mut criterion = Criterion { filter: Some("other".into()) };
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |bench, _| {
+            ran = true;
+            bench.iter(|| ());
+        });
+        group.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("blocked", 64).to_string(), "blocked/64");
+        assert_eq!(BenchmarkId::from_parameter("4x4").to_string(), "4x4");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}
