@@ -2,13 +2,16 @@
 //! evaluation (§V) on the GeoTorch-RS reproduction.
 //!
 //! ```sh
-//! cargo run --release -p geotorch-bench --bin repro -- [--quick] [--threads N] <experiment>
+//! cargo run --release -p geotorch-bench --bin repro -- [--quick] [--threads N] [--profile] <experiment>
 //! ```
 //!
 //! Experiments: `fig8`, `table4`, `table5`, `table6`, `table7`, `fig9`,
 //! `table8`, or `all`. `--quick` shrinks scales for a fast smoke run.
 //! `--threads N` pins the Fig. 9 "GPU" (data-parallel) runs to a
 //! `Device::Parallel(N)` worker-pool share instead of every core.
+//! `--profile` turns on the telemetry layer and dumps a per-kernel time
+//! breakdown after each experiment: a markdown section appended to the
+//! report plus machine-readable `results/<name>.profile.json`.
 //!
 //! Results print as markdown and are appended to `results/<name>.md`.
 
@@ -30,7 +33,7 @@ use geotorch_preprocess::geopandas_like::get_st_grid_dataframe_naive;
 use geotorch_preprocess::raster_processing::{RasterBatch, RasterProcessing};
 use geotorch_preprocess::st_manager::{trips_dataframe, StGridConfig, StManager};
 use geotorch_raster::transforms::{AppendNormalizedDifferenceIndex, Compose};
-use geotorch_tensor::{with_device, Device};
+use geotorch_tensor::Device;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -38,6 +41,10 @@ static ALLOC: CountingAllocator = CountingAllocator::new();
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
+    if profile {
+        geotorch_telemetry::set_enabled(true);
+    }
     let threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -62,7 +69,7 @@ fn main() {
                 skip_next = true;
                 return None;
             }
-            (s != "--quick").then_some(s.as_str())
+            (s != "--quick" && s != "--profile").then_some(s.as_str())
         })
         .collect();
     let all = ["fig8", "table4", "table5", "table6", "table7", "fig9", "table8"];
@@ -73,6 +80,9 @@ fn main() {
     };
     std::fs::create_dir_all("results").ok();
     for experiment in run {
+        if profile {
+            geotorch_telemetry::reset();
+        }
         let start = Instant::now();
         let output = match experiment {
             "fig8" => fig8(quick),
@@ -88,10 +98,46 @@ fn main() {
             }
         };
         let elapsed = start.elapsed().as_secs_f64();
-        let report = format!("{output}\n_(harness time: {elapsed:.1}s, quick={quick})_\n");
+        let mut report = format!("{output}\n_(harness time: {elapsed:.1}s, quick={quick})_\n");
+        if profile {
+            report.push_str(&profile_section(experiment));
+        }
         println!("{report}");
         std::fs::write(format!("results/{experiment}.md"), &report).ok();
     }
+}
+
+/// Dump the telemetry snapshot for one experiment: JSON next to the
+/// markdown report, plus a rendered breakdown with a kernel-coverage
+/// summary (how much of the instrumented training time the tensor/nn
+/// kernels account for).
+fn profile_section(experiment: &str) -> String {
+    let json = geotorch_telemetry::snapshot_json();
+    std::fs::write(format!("results/{experiment}.profile.json"), &json).ok();
+    let stats = geotorch_telemetry::snapshot();
+    let kernel_ns: u64 = stats
+        .iter()
+        .filter(|s| s.name.starts_with("tensor.") || s.name.starts_with("nn."))
+        .map(|s| s.self_ns)
+        .sum();
+    let epoch_ns: u64 = stats
+        .iter()
+        .filter(|s| s.name == "core.trainer.epoch")
+        .map(|s| s.total_ns)
+        .sum();
+    let coverage = if epoch_ns > 0 {
+        format!(
+            "Kernel self-time covers {:.0}% of instrumented epoch wall-clock \
+             (kernels also run in validation, so >100% is possible).",
+            100.0 * kernel_ns as f64 / epoch_ns as f64
+        )
+    } else {
+        "No trainer epochs ran in this experiment.".to_string()
+    };
+    format!(
+        "\n### Profile (`--profile`)\n\n{}\n{coverage}\n\nMachine-readable copy: `results/{experiment}.profile.json`.\n",
+        geotorch_telemetry::snapshot_markdown()
+    )
 }
 
 // ---------------------------------------------------------------- Fig. 8
@@ -484,13 +530,15 @@ fn fig9(quick: bool, threads: Option<usize>) -> String {
         let model = SatCnn::new(bands, size, size, 10, &mut rng);
         let mut config = paper_train_config(1, 0);
         config.early_stopping_patience = None;
+        // The trainer pins every fit/evaluate call to its configured
+        // device, so the device must go through the config — an ambient
+        // `with_device` wrapper would be overridden inside the trainer.
+        config.device = device;
         let trainer = Trainer::new(config);
         let (train, val, _) = shuffled_split(dataset.len(), 0);
-        with_device(device, || {
-            trainer
-                .fit_classifier(&model, &dataset, &train, &val)
-                .mean_epoch_seconds()
-        })
+        trainer
+            .fit_classifier(&model, &dataset, &train, &val)
+            .mean_epoch_seconds()
     };
     let parallel = threads.map_or_else(Device::parallel, Device::Parallel);
     let mut band_rows = Vec::new();

@@ -226,6 +226,7 @@ impl RowTransformer {
     /// come back in the same order [`RowTransformer::batches`] streams
     /// them.
     pub fn all_batches(&self, frame: &FormattedFrame) -> Vec<(Tensor, Tensor)> {
+        let _t = geotorch_telemetry::scope!("converter.all_batches");
         let f_len: usize = frame.feature_shape.iter().product();
         let l_len: usize = frame.label_shape.iter().product();
         // Batch spans as (partition, row start, row end); batches never
@@ -255,6 +256,7 @@ impl RowTransformer {
                 Tensor::from_vec(part.labels[start * l_len..end * l_len].to_vec(), &l_shape);
             (features, labels)
         };
+        geotorch_telemetry::count!("converter.batches_built", spans.len());
         if frame.num_rows() * (f_len + l_len) >= PARALLEL_THRESHOLD {
             parallel_map(spans.len(), |i| build(spans[i]))
         } else {

@@ -26,11 +26,27 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 /// Save a module's parameters to a JSON file.
+///
+/// The write is atomic with respect to the destination: the bytes go to
+/// a `.tmp` sibling first and are `rename`d into place, so a crash (or
+/// full disk) mid-write never leaves a truncated checkpoint where a
+/// previously valid one existed.
 pub fn save(model: &dyn Module, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
     let state = model.state_dict();
     let json = serde_json::to_string(&state)
         .map_err(|e| CheckpointError::Format(e.to_string()))?;
-    std::fs::write(path, json).map_err(CheckpointError::Io)
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = std::fs::write(&tmp, json) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        CheckpointError::Io(e)
+    })
 }
 
 /// Load parameters saved by [`save`] into a structurally identical model.
@@ -97,6 +113,41 @@ mod tests {
         let path = tmp("mismatch");
         save(&small, &path).unwrap();
         assert!(matches!(load(&big, &path), Err(CheckpointError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let model = SatCnn::new(1, 8, 8, 2, &mut rng);
+        let path = tmp("atomic");
+        let tmp_sibling = {
+            let mut s = path.as_os_str().to_owned();
+            s.push(".tmp");
+            std::path::PathBuf::from(s)
+        };
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&tmp_sibling).ok();
+
+        // A good checkpoint exists...
+        save(&model, &path).unwrap();
+        assert!(!tmp_sibling.exists(), "tmp sibling must not outlive save");
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // ...then a save whose staging write fails (a directory squats on
+        // the .tmp path) must error without touching the real file.
+        std::fs::create_dir(&tmp_sibling).unwrap();
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        let other = SatCnn::new(1, 8, 8, 2, &mut rng2);
+        assert!(matches!(save(&other, &path), Err(CheckpointError::Io(_))));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            good,
+            "failed save must leave the previous checkpoint intact"
+        );
+        load(&model, &path).unwrap();
+
+        std::fs::remove_dir(&tmp_sibling).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -12,4 +12,4 @@ pub mod checkpoint;
 pub mod metrics;
 pub mod trainer;
 
-pub use trainer::{TrainConfig, TrainReport, Trainer, UpdateMode};
+pub use trainer::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};

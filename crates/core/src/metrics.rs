@@ -26,13 +26,41 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
     if targets.is_empty() {
         return f32::NAN;
     }
-    let predictions = logits.argmax_rows();
-    let correct = predictions
+    correct_count(logits, targets) as f32 / targets.len() as f32
+}
+
+/// Number of rows of `[B, K]` logits whose argmax equals the target
+/// class. Exact integer count — use this when summing over batches so no
+/// precision is lost reconstructing counts from per-batch accuracies.
+pub fn correct_count(logits: &Tensor, targets: &[usize]) -> usize {
+    assert_eq!(
+        logits.shape()[0],
+        targets.len(),
+        "correct_count batch mismatch"
+    );
+    logits
+        .argmax_rows()
         .iter()
         .zip(targets)
         .filter(|(p, t)| p == t)
-        .count();
-    correct as f32 / targets.len() as f32
+        .count()
+}
+
+/// Number of pixels where the binary prediction (logit > 0) matches the
+/// mask (> 0.5). Exact integer count for pixel-weighted aggregation
+/// across batches of differing size.
+pub fn pixel_correct_count(logits: &Tensor, mask: &Tensor) -> usize {
+    assert_eq!(
+        logits.shape(),
+        mask.shape(),
+        "pixel_correct_count shape mismatch"
+    );
+    logits
+        .as_slice()
+        .iter()
+        .zip(mask.as_slice())
+        .filter(|(&l, &m)| (l > 0.0) == (m > 0.5))
+        .count()
 }
 
 /// Pixel accuracy of segmentation logits against a binary mask
@@ -40,13 +68,7 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
 pub fn pixel_accuracy(logits: &Tensor, mask: &Tensor) -> f32 {
     assert_eq!(logits.shape(), mask.shape(), "pixel_accuracy shape mismatch");
     assert!(!logits.is_empty(), "pixel_accuracy on empty tensors");
-    let correct = logits
-        .as_slice()
-        .iter()
-        .zip(mask.as_slice())
-        .filter(|(&l, &m)| (l > 0.0) == (m > 0.5))
-        .count();
-    correct as f32 / logits.len() as f32
+    pixel_correct_count(logits, mask) as f32 / logits.len() as f32
 }
 
 /// Intersection-over-union of a binary segmentation (logit > 0 vs mask).

@@ -1,5 +1,11 @@
 //! The training loop: batching, optimisation, validation-based early
 //! stopping, and evaluation — implementing the paper's §V-C protocol.
+//!
+//! The three model families (grid, classifier, segmenter) share one
+//! epoch driver, [`Trainer::fit_loop`], so optimizer cadence, gradient
+//! clipping, early stopping, and telemetry behave identically across
+//! them; each `fit_*` front-end only supplies the per-batch loss and the
+//! validation metric.
 
 use std::time::Instant;
 
@@ -7,7 +13,7 @@ use geotorch_datasets::{BatchIndices, RasterDataset, StBatch, StGridDataset};
 use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};
 use geotorch_nn::loss::{bce_with_logits_loss, cross_entropy_loss, mse_loss};
 use geotorch_nn::optim::{Adam, Optimizer};
-use geotorch_nn::Var;
+use geotorch_nn::{Module, Var};
 use geotorch_tensor::{with_device, Device, Tensor};
 
 use crate::metrics;
@@ -18,7 +24,10 @@ use crate::metrics;
 pub enum UpdateMode {
     /// Step the optimizer after every batch (the paper's default).
     Incremental,
-    /// Accumulate gradients across the epoch, step once.
+    /// Accumulate gradients across the epoch, step once. The accumulated
+    /// sum is scaled by `1/batches` before the step, so the effective
+    /// learning rate matches Incremental's per-batch-mean gradients and
+    /// does not grow with dataset size.
     Cumulative,
 }
 
@@ -62,6 +71,21 @@ impl Default for TrainConfig {
     }
 }
 
+/// Why a training run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every configured epoch ran.
+    MaxEpochs,
+    /// The validation metric failed to improve for `patience` consecutive
+    /// epochs; training stopped after `epoch` epochs.
+    EarlyStopped {
+        /// 1-based number of epochs that had run when training stopped.
+        epoch: usize,
+        /// The configured patience that fired.
+        patience: usize,
+    },
+}
+
 /// What a training run produced.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -71,8 +95,12 @@ pub struct TrainReport {
     pub val_metrics: Vec<f32>,
     /// Epochs actually run (≤ configured when early stopping fires).
     pub epochs_run: usize,
-    /// Wall-clock seconds per epoch.
+    /// Wall-clock seconds per epoch (training only; validation excluded).
     pub epoch_seconds: Vec<f64>,
+    /// Training samples processed per second, per epoch.
+    pub samples_per_sec: Vec<f64>,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
 }
 
 impl TrainReport {
@@ -88,6 +116,15 @@ impl TrainReport {
     /// Best (minimum) validation metric.
     pub fn best_val(&self) -> f32 {
         self.val_metrics.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean training throughput in samples per second.
+    pub fn mean_samples_per_sec(&self) -> f64 {
+        if self.samples_per_sec.is_empty() {
+            0.0
+        } else {
+            self.samples_per_sec.iter().sum::<f64>() / self.samples_per_sec.len() as f64
+        }
     }
 }
 
@@ -107,31 +144,33 @@ impl Trainer {
         &self.config
     }
 
-    // --------------------------------------------------------- grid
-
     /// Run `f` under the configured compute device.
     fn on_device<T>(&self, f: impl FnOnce() -> T) -> T {
         with_device(self.config.device, f)
     }
 
-    /// Train a grid model on chronological train/val splits of `dataset`
-    /// (which must already carry the representation the model expects).
-    pub fn fit_grid(
-        &self,
-        model: &dyn GridModel,
-        dataset: &StGridDataset,
-        train_idx: &[usize],
-        val_idx: &[usize],
-    ) -> TrainReport {
-        self.on_device(|| self.fit_grid_inner(model, dataset, train_idx, val_idx))
+    // --------------------------------------------------- shared driver
+
+    /// Clip (if configured), step, and clear gradients.
+    fn clip_and_step(&self, optimizer: &mut Adam) {
+        if let Some(max_norm) = self.config.gradient_clip {
+            geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+        }
+        optimizer.step();
+        optimizer.zero_grad();
     }
 
-    fn fit_grid_inner(
+    /// The epoch driver shared by all three `fit_*` entry points.
+    ///
+    /// `forward_loss` maps one batch's sample indices to the loss node
+    /// (the driver runs `backward` and the optimizer cadence);
+    /// `validate` produces the per-epoch validation metric, lower better.
+    fn fit_loop<M: Module + ?Sized>(
         &self,
-        model: &dyn GridModel,
-        dataset: &StGridDataset,
+        model: &M,
         train_idx: &[usize],
-        val_idx: &[usize],
+        forward_loss: &mut dyn FnMut(&[usize]) -> Var,
+        validate: &mut dyn FnMut() -> f32,
     ) -> TrainReport {
         let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
         let mut report = TrainReport {
@@ -139,6 +178,8 @@ impl Trainer {
             val_metrics: Vec::new(),
             epochs_run: 0,
             epoch_seconds: Vec::new(),
+            samples_per_sec: Vec::new(),
+            stop_reason: StopReason::MaxEpochs,
         };
         let mut best = f32::INFINITY;
         let mut best_state: Option<Vec<Tensor>> = None;
@@ -147,51 +188,60 @@ impl Trainer {
             model.set_training(true);
             let start = Instant::now();
             let mut epoch_loss = 0.0;
-            let mut batches = 0;
-            let iter = BatchIndices::shuffled(
-                train_idx,
-                self.config.batch_size,
-                self.config.seed.wrapping_add(epoch as u64),
-            );
-            for batch_idx in iter {
-                let batch = dataset.batch(&batch_idx);
-                let (input, target) = grid_io(&batch);
-                let pred = model.forward(&input);
-                let loss = mse_loss(&pred, &target);
-                epoch_loss += loss.value().item();
-                batches += 1;
-                loss.backward();
-                if self.config.update_mode == UpdateMode::Incremental {
-                    if let Some(max_norm) = self.config.gradient_clip {
-                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+            let mut batches = 0usize;
+            let mut samples = 0usize;
+            {
+                let _epoch_t = geotorch_telemetry::scope!("core.trainer.epoch");
+                let iter = BatchIndices::shuffled(
+                    train_idx,
+                    self.config.batch_size,
+                    self.config.seed.wrapping_add(epoch as u64),
+                );
+                for batch_idx in iter {
+                    let loss = forward_loss(&batch_idx);
+                    epoch_loss += loss.value().item();
+                    batches += 1;
+                    samples += batch_idx.len();
+                    loss.backward();
+                    if self.config.update_mode == UpdateMode::Incremental {
+                        self.clip_and_step(&mut optimizer);
                     }
-                    optimizer.step();
-                    optimizer.zero_grad();
+                }
+                if self.config.update_mode == UpdateMode::Cumulative && batches > 0 {
+                    // The tape accumulated a gradient *sum* over all batches;
+                    // average it so the single step matches the magnitude of
+                    // an Incremental step instead of scaling with the number
+                    // of batches in the epoch.
+                    scale_grads(optimizer.parameters(), 1.0 / batches as f32);
+                    self.clip_and_step(&mut optimizer);
                 }
             }
-            if self.config.update_mode == UpdateMode::Cumulative {
-                if let Some(max_norm) = self.config.gradient_clip {
-                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
-                }
-                optimizer.step();
-                optimizer.zero_grad();
-            }
-            report.epoch_seconds.push(start.elapsed().as_secs_f64());
+            let secs = start.elapsed().as_secs_f64();
+            report.epoch_seconds.push(secs);
+            report
+                .samples_per_sec
+                .push(if secs > 0.0 { samples as f64 / secs } else { 0.0 });
             report
                 .train_losses
                 .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
             report.epochs_run = epoch + 1;
+            geotorch_telemetry::count!("core.trainer.epochs", 1);
+            geotorch_telemetry::count!("core.trainer.samples", samples);
 
-            let (val_mae, _) = self.evaluate_grid(model, dataset, val_idx);
-            report.val_metrics.push(val_mae);
-            if val_mae + 1e-6 < best {
-                best = val_mae;
+            let val = validate();
+            report.val_metrics.push(val);
+            if val + 1e-6 < best {
+                best = val;
                 best_state = Some(model.state_dict());
                 stale = 0;
             } else {
                 stale += 1;
                 if let Some(patience) = self.config.early_stopping_patience {
                     if stale >= patience {
+                        report.stop_reason = StopReason::EarlyStopped {
+                            epoch: epoch + 1,
+                            patience,
+                        };
                         break;
                     }
                 }
@@ -203,6 +253,31 @@ impl Trainer {
             model.load_state_dict(&state);
         }
         report
+    }
+
+    // --------------------------------------------------------- grid
+
+    /// Train a grid model on chronological train/val splits of `dataset`
+    /// (which must already carry the representation the model expects).
+    pub fn fit_grid(
+        &self,
+        model: &dyn GridModel,
+        dataset: &StGridDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainReport {
+        self.on_device(|| {
+            self.fit_loop(
+                model,
+                train_idx,
+                &mut |batch_idx| {
+                    let batch = dataset.batch(batch_idx);
+                    let (input, target) = grid_io(&batch);
+                    mse_loss(&model.forward(&input), &target)
+                },
+                &mut || self.evaluate_grid_inner(model, dataset, val_idx).0,
+            )
+        })
     }
 
     /// `(MAE, RMSE)` of a grid model over the given samples (normalised
@@ -251,86 +326,21 @@ impl Trainer {
         train_idx: &[usize],
         val_idx: &[usize],
     ) -> TrainReport {
-        self.on_device(|| self.fit_classifier_inner(model, dataset, train_idx, val_idx))
-    }
-
-    fn fit_classifier_inner(
-        &self,
-        model: &dyn RasterClassifier,
-        dataset: &RasterDataset,
-        train_idx: &[usize],
-        val_idx: &[usize],
-    ) -> TrainReport {
-        let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
-        let mut report = TrainReport {
-            train_losses: Vec::new(),
-            val_metrics: Vec::new(),
-            epochs_run: 0,
-            epoch_seconds: Vec::new(),
-        };
-        let mut best = f32::INFINITY;
-        let mut best_state: Option<Vec<Tensor>> = None;
-        let mut stale = 0usize;
-        for epoch in 0..self.config.epochs {
-            model.set_training(true);
-            let start = Instant::now();
-            let mut epoch_loss = 0.0;
-            let mut batches = 0;
-            let iter = BatchIndices::shuffled(
+        self.on_device(|| {
+            self.fit_loop(
+                model,
                 train_idx,
-                self.config.batch_size,
-                self.config.seed.wrapping_add(epoch as u64),
-            );
-            for batch_idx in iter {
-                let batch = dataset.batch(&batch_idx);
-                let x = Var::constant(batch.x);
-                let features = batch.features.map(Var::constant);
-                let logits = model.forward(&x, features.as_ref());
-                let loss = cross_entropy_loss(&logits, &batch.labels);
-                epoch_loss += loss.value().item();
-                batches += 1;
-                loss.backward();
-                if self.config.update_mode == UpdateMode::Incremental {
-                    if let Some(max_norm) = self.config.gradient_clip {
-                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
-                    }
-                    optimizer.step();
-                    optimizer.zero_grad();
-                }
-            }
-            if self.config.update_mode == UpdateMode::Cumulative {
-                if let Some(max_norm) = self.config.gradient_clip {
-                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
-                }
-                optimizer.step();
-                optimizer.zero_grad();
-            }
-            report.epoch_seconds.push(start.elapsed().as_secs_f64());
-            report
-                .train_losses
-                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
-            report.epochs_run = epoch + 1;
-
-            // Validation metric: 1 - accuracy (lower is better).
-            let val_err = 1.0 - self.evaluate_classifier(model, dataset, val_idx);
-            report.val_metrics.push(val_err);
-            if val_err + 1e-6 < best {
-                best = val_err;
-                best_state = Some(model.state_dict());
-                stale = 0;
-            } else {
-                stale += 1;
-                if let Some(patience) = self.config.early_stopping_patience {
-                    if stale >= patience {
-                        break;
-                    }
-                }
-            }
-        }
-        if let Some(state) = best_state {
-            model.load_state_dict(&state);
-        }
-        report
+                &mut |batch_idx| {
+                    let batch = dataset.batch(batch_idx);
+                    let x = Var::constant(batch.x);
+                    let features = batch.features.map(Var::constant);
+                    let logits = model.forward(&x, features.as_ref());
+                    cross_entropy_loss(&logits, &batch.labels)
+                },
+                // Validation metric: 1 - accuracy (lower is better).
+                &mut || 1.0 - self.evaluate_classifier_inner(model, dataset, val_idx),
+            )
+        })
     }
 
     /// Accuracy of a classifier over the given samples.
@@ -357,8 +367,9 @@ impl Trainer {
             let x = Var::constant(batch.x);
             let features = batch.features.map(Var::constant);
             let logits = model.forward(&x, features.as_ref()).value();
-            let acc = metrics::accuracy(&logits, &batch.labels);
-            correct += (acc * batch.labels.len() as f32).round() as usize;
+            // Exact integer counts — reconstructing them from a per-batch
+            // accuracy float loses precision on large batches.
+            correct += metrics::correct_count(&logits, &batch.labels);
             total += batch.labels.len();
         }
         if total == 0 {
@@ -378,85 +389,19 @@ impl Trainer {
         train_idx: &[usize],
         val_idx: &[usize],
     ) -> TrainReport {
-        self.on_device(|| self.fit_segmenter_inner(model, dataset, train_idx, val_idx))
-    }
-
-    fn fit_segmenter_inner(
-        &self,
-        model: &dyn Segmenter,
-        dataset: &RasterDataset,
-        train_idx: &[usize],
-        val_idx: &[usize],
-    ) -> TrainReport {
-        let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
-        let mut report = TrainReport {
-            train_losses: Vec::new(),
-            val_metrics: Vec::new(),
-            epochs_run: 0,
-            epoch_seconds: Vec::new(),
-        };
-        let mut best = f32::INFINITY;
-        let mut best_state: Option<Vec<Tensor>> = None;
-        let mut stale = 0usize;
-        for epoch in 0..self.config.epochs {
-            model.set_training(true);
-            let start = Instant::now();
-            let mut epoch_loss = 0.0;
-            let mut batches = 0;
-            let iter = BatchIndices::shuffled(
+        self.on_device(|| {
+            self.fit_loop(
+                model,
                 train_idx,
-                self.config.batch_size,
-                self.config.seed.wrapping_add(epoch as u64),
-            );
-            for batch_idx in iter {
-                let batch = dataset.batch(&batch_idx);
-                let x = Var::constant(batch.x);
-                let masks = Var::constant(batch.masks.expect("segmentation dataset"));
-                let logits = model.forward(&x);
-                let loss = bce_with_logits_loss(&logits, &masks);
-                epoch_loss += loss.value().item();
-                batches += 1;
-                loss.backward();
-                if self.config.update_mode == UpdateMode::Incremental {
-                    if let Some(max_norm) = self.config.gradient_clip {
-                        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
-                    }
-                    optimizer.step();
-                    optimizer.zero_grad();
-                }
-            }
-            if self.config.update_mode == UpdateMode::Cumulative {
-                if let Some(max_norm) = self.config.gradient_clip {
-                    geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
-                }
-                optimizer.step();
-                optimizer.zero_grad();
-            }
-            report.epoch_seconds.push(start.elapsed().as_secs_f64());
-            report
-                .train_losses
-                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
-            report.epochs_run = epoch + 1;
-
-            let val_err = 1.0 - self.evaluate_segmenter(model, dataset, val_idx);
-            report.val_metrics.push(val_err);
-            if val_err + 1e-6 < best {
-                best = val_err;
-                best_state = Some(model.state_dict());
-                stale = 0;
-            } else {
-                stale += 1;
-                if let Some(patience) = self.config.early_stopping_patience {
-                    if stale >= patience {
-                        break;
-                    }
-                }
-            }
-        }
-        if let Some(state) = best_state {
-            model.load_state_dict(&state);
-        }
-        report
+                &mut |batch_idx| {
+                    let batch = dataset.batch(batch_idx);
+                    let x = Var::constant(batch.x);
+                    let masks = Var::constant(batch.masks.expect("segmentation dataset"));
+                    bce_with_logits_loss(&model.forward(&x), &masks)
+                },
+                &mut || 1.0 - self.evaluate_segmenter_inner(model, dataset, val_idx),
+            )
+        })
     }
 
     /// Pixel accuracy of a segmenter over the given samples.
@@ -476,20 +421,33 @@ impl Trainer {
         indices: &[usize],
     ) -> f32 {
         model.set_training(false);
-        let mut acc_sum = 0.0;
-        let mut batches = 0;
+        let mut correct = 0usize;
+        let mut total = 0usize;
         for batch_idx in BatchIndices::new(indices, self.config.batch_size) {
             let batch = dataset.batch(&batch_idx);
             let x = Var::constant(batch.x);
             let masks = batch.masks.expect("segmentation dataset");
             let logits = model.forward(&x).value();
-            acc_sum += metrics::pixel_accuracy(&logits, &masks);
-            batches += 1;
+            // Weight by pixel count: averaging per-batch accuracies
+            // unweighted over-weights a ragged final batch.
+            correct += metrics::pixel_correct_count(&logits, &masks);
+            total += logits.len();
         }
-        if batches == 0 {
+        if total == 0 {
             f32::NAN
         } else {
-            acc_sum / batches as f32
+            correct as f32 / total as f32
+        }
+    }
+}
+
+/// Replace each parameter's accumulated gradient with `grad * scale`.
+fn scale_grads(params: &[Var], scale: f32) {
+    for p in params {
+        if let Some(g) = p.grad() {
+            let scaled = g.mul_scalar(scale);
+            p.zero_grad();
+            p.seed_grad(scaled);
         }
     }
 }
@@ -563,6 +521,13 @@ mod tests {
             report.train_losses
         );
         assert!(report.mean_epoch_seconds() > 0.0);
+        assert_eq!(report.stop_reason, StopReason::MaxEpochs);
+        assert_eq!(report.samples_per_sec.len(), 3);
+        assert!(
+            report.mean_samples_per_sec() > 0.0,
+            "throughput must be recorded: {:?}",
+            report.samples_per_sec
+        );
     }
 
     #[test]
@@ -653,6 +618,13 @@ mod tests {
         let trainer = Trainer::new(config);
         let report = trainer.fit_grid(&Identity, &ds, &[0, 1, 2, 3], &[4, 5]);
         assert!(report.epochs_run <= 4, "expected early stop, ran {}", report.epochs_run);
+        match report.stop_reason {
+            StopReason::EarlyStopped { epoch, patience } => {
+                assert_eq!(epoch, report.epochs_run);
+                assert_eq!(patience, 2);
+            }
+            other => panic!("expected EarlyStopped, got {other:?}"),
+        }
     }
 
     #[test]
@@ -692,6 +664,131 @@ mod tests {
         let report = trainer.fit_grid(&model, &ds, &[0, 1, 2, 3, 4, 5, 6, 7], &[8, 9]);
         assert_eq!(report.epochs_run, 2);
         assert!(report.train_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn cumulative_matches_incremental_on_single_batch_epochs() {
+        // With one batch per epoch the accumulated gradient equals the
+        // batch gradient (scaled by 1/1), so both cadences must walk the
+        // identical optimisation trajectory.
+        let run = |mode: UpdateMode| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+            let mut ds = StGridDataset::taxi_nyc_stdn(3, 9);
+            ds.set_periodical_representation(1, 1, 0);
+            let model = PeriodicalCnn::new(2, (1, 1, 0), 4, &mut rng);
+            let config = TrainConfig {
+                update_mode: mode,
+                batch_size: 8, // == train set size → exactly one batch/epoch
+                ..quick_config(4)
+            };
+            let trainer = Trainer::new(config);
+            trainer
+                .fit_grid(&model, &ds, &[0, 1, 2, 3, 4, 5, 6, 7], &[8, 9])
+                .train_losses
+        };
+        let inc = run(UpdateMode::Incremental);
+        let cum = run(UpdateMode::Cumulative);
+        assert_eq!(inc.len(), cum.len());
+        for (i, c) in inc.iter().zip(&cum) {
+            assert!(
+                (i - c).abs() <= 1e-6 * i.abs().max(1.0),
+                "1-batch epochs must match: incremental {inc:?} vs cumulative {cum:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_grads_averages_accumulated_sum() {
+        let p = Var::parameter(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        p.seed_grad(Tensor::from_vec(vec![4.0, -8.0], &[2]));
+        scale_grads(&[p.clone()], 0.25);
+        let g = p.grad().expect("gradient survives scaling");
+        assert_eq!(g.as_slice(), &[1.0, -2.0]);
+        // Parameters without a gradient are left untouched.
+        let q = Var::parameter(Tensor::zeros(&[2]));
+        scale_grads(&[q.clone()], 0.5);
+        assert!(q.grad().is_none());
+    }
+
+    #[test]
+    fn classifier_eval_counts_exactly_with_ragged_batches() {
+        // A constant model that always predicts class 0: accuracy must be
+        // exactly (#labels == 0) / total, summed with integer counts over
+        // batches — including a ragged final batch (7 samples with
+        // batch_size 4 → batches of 4 and 3).
+        struct AlwaysZero {
+            classes: usize,
+        }
+        impl geotorch_nn::Module for AlwaysZero {
+            fn parameters(&self) -> Vec<Var> {
+                vec![Var::parameter(Tensor::zeros(&[1]))]
+            }
+        }
+        impl RasterClassifier for AlwaysZero {
+            fn forward(&self, images: &Var, _features: Option<&Var>) -> Var {
+                let b = images.shape()[0];
+                let mut logits = vec![0.0f32; b * self.classes];
+                for r in 0..b {
+                    logits[r * self.classes] = 1.0;
+                }
+                Var::constant(Tensor::from_vec(logits, &[b, self.classes]))
+            }
+            fn name(&self) -> &'static str {
+                "always-zero"
+            }
+        }
+        let ds = RasterDataset::classification("fixture", 1, 4, 4, 3, 10, 0);
+        let indices: Vec<usize> = (0..7).collect();
+        let expected = indices.iter().filter(|&&i| ds.label(i) == 0).count() as f32 / 7.0;
+        let mut config = quick_config(1);
+        config.batch_size = 4;
+        let trainer = Trainer::new(config);
+        let model = AlwaysZero { classes: 3 };
+        let acc = trainer.evaluate_classifier(&model, &ds, &indices);
+        assert_eq!(acc, expected, "exact count mismatch");
+    }
+
+    #[test]
+    fn segmenter_eval_weights_batches_by_pixel_count() {
+        // A constant all-positive segmenter: pixel accuracy must equal the
+        // overall fraction of positive mask pixels, regardless of how the
+        // samples split into batches. The old unweighted per-batch average
+        // over-weighted the ragged final batch.
+        struct AllPositive;
+        impl geotorch_nn::Module for AllPositive {
+            fn parameters(&self) -> Vec<Var> {
+                vec![Var::parameter(Tensor::zeros(&[1]))]
+            }
+        }
+        impl Segmenter for AllPositive {
+            fn forward(&self, images: &Var) -> Var {
+                let s = images.shape();
+                Var::constant(Tensor::ones(&[s[0], 1, s[2], s[3]]))
+            }
+            fn name(&self) -> &'static str {
+                "all-positive"
+            }
+        }
+        let ds = RasterDataset::cloud38(7, 16, 3);
+        let indices: Vec<usize> = (0..7).collect();
+        // Hand-computed expectation: positive mask pixels over all pixels.
+        let mut positive = 0usize;
+        let mut total = 0usize;
+        for batch_idx in BatchIndices::new(&indices, 4) {
+            let batch = ds.batch(&batch_idx);
+            let mask = batch.masks.expect("segmentation dataset");
+            positive += mask.as_slice().iter().filter(|&&m| m > 0.5).count();
+            total += mask.len();
+        }
+        let expected = positive as f32 / total as f32;
+        let mut config = quick_config(1);
+        config.batch_size = 4; // 7 samples → batches of 4 and 3 (ragged)
+        let trainer = Trainer::new(config);
+        let acc = trainer.evaluate_segmenter(&AllPositive, &ds, &indices);
+        assert!(
+            (acc - expected).abs() < 1e-6,
+            "pixel-weighted accuracy {acc} != expected {expected}"
+        );
     }
 
     #[test]

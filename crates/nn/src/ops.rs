@@ -329,6 +329,7 @@ impl Var {
             value,
             parents,
             Box::new(move |g| {
+                let _t = geotorch_telemetry::scope!("nn.conv2d_bwd");
                 let (bsz, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
                 let (o, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
                 let (oh, ow) = (g.shape()[2], g.shape()[3]);
@@ -386,6 +387,7 @@ impl Var {
             value,
             parents,
             Box::new(move |g| {
+                let _t = geotorch_telemetry::scope!("nn.conv_transpose2d_bwd");
                 let (bsz, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
                 let (o, kh, kw) = (w.shape()[1], w.shape()[2], w.shape()[3]);
                 let (gh, gw_sp) = (g.shape()[2], g.shape()[3]);

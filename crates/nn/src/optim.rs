@@ -48,6 +48,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let _t = geotorch_telemetry::scope!("nn.optim.step");
         for (param, vel) in self.params.iter().zip(&mut self.velocity) {
             let Some(grad) = param.grad() else { continue };
             let update = if self.momentum > 0.0 {
@@ -121,6 +122,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        let _t = geotorch_telemetry::scope!("nn.optim.step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -40,6 +40,7 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
 /// Apply `f` elementwise over broadcast inputs, producing a tensor of the
 /// broadcast shape. Fast paths cover equal shapes and scalar operands.
 pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.elementwise");
     let out_shape = broadcast_shape(a.shape(), b.shape());
     // Fast path: identical shapes.
     if a.shape() == b.shape() {

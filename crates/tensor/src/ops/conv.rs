@@ -28,6 +28,7 @@ pub fn conv_out_len(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 /// Lower a single image `[C, H, W]` to a column matrix
 /// `[C*kh*kw, oh*ow]` for kernel `(kh, kw)`, `stride`, and zero `pad`.
 pub fn im2col(img: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.im2col");
     assert_eq!(img.ndim(), 3, "im2col expects [C,H,W], got {:?}", img.shape());
     let padded = img.pad2d(pad);
     let (c, h, w) = (padded.shape()[0], padded.shape()[1], padded.shape()[2]);
@@ -67,6 +68,7 @@ pub fn col2im(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.col2im");
     let oh = conv_out_len(h, kh, stride, pad);
     let ow = conv_out_len(w, kw, stride, pad);
     assert_eq!(
@@ -107,6 +109,7 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.conv2d");
     assert_eq!(input.ndim(), 4, "conv2d input must be [B,C,H,W]");
     assert_eq!(weight.ndim(), 4, "conv2d weight must be [O,C,kh,kw]");
     let (b, c, h, w) = (
@@ -212,6 +215,7 @@ pub fn conv_transpose2d(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.conv_transpose2d");
     assert_eq!(input.ndim(), 4, "conv_transpose2d input must be [B,C,H,W]");
     assert_eq!(weight.ndim(), 4, "conv_transpose2d weight must be [C,O,kh,kw]");
     let (b, c, h, w) = (

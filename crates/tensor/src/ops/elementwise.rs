@@ -7,6 +7,7 @@ use crate::Tensor;
 impl Tensor {
     /// Apply `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let _t = geotorch_telemetry::scope!("tensor.map");
         let mut out = vec![0.0f32; self.len()];
         let src = self.as_slice();
         parallel_chunks_mut(&mut out, PARALLEL_THRESHOLD, |offset, chunk| {
@@ -19,6 +20,7 @@ impl Tensor {
 
     /// Apply `f` to every element in place (copies if storage is shared).
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let _t = geotorch_telemetry::scope!("tensor.map");
         let data = self.as_mut_slice();
         parallel_chunks_mut(data, PARALLEL_THRESHOLD, |_, chunk| {
             for v in chunk.iter_mut() {

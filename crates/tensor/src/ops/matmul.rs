@@ -13,6 +13,7 @@ impl Tensor {
     /// # Panics
     /// If either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _t = geotorch_telemetry::scope!("tensor.matmul");
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape());
         let (m, k) = (self.shape()[0], self.shape()[1]);

@@ -12,6 +12,7 @@ use crate::Tensor;
 /// input buffer) of each selected maximum, which the backward pass scatters
 /// gradients through.
 pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    let _t = geotorch_telemetry::scope!("tensor.maxpool2d");
     assert_eq!(input.ndim(), 4, "maxpool2d input must be [B,C,H,W]");
     let (b, c, h, w) = (
         input.shape()[0],
@@ -64,6 +65,7 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
 
 /// Scatter `grad` back through the argmax indices from [`maxpool2d`].
 pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.maxpool2d_bwd");
     assert_eq!(grad.len(), argmax.len(), "maxpool backward length mismatch");
     let numel = crate::numel(input_shape);
     let mut out = vec![0.0f32; numel];
@@ -98,6 +100,7 @@ pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], input_shape: &[usize]
 
 /// 2-D average pooling.
 pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.avgpool2d");
     assert_eq!(input.ndim(), 4, "avgpool2d input must be [B,C,H,W]");
     let (b, c, h, w) = (
         input.shape()[0],
@@ -143,6 +146,7 @@ pub fn avgpool2d_backward(
     stride: usize,
     input_shape: &[usize],
 ) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.avgpool2d_bwd");
     let (b, c, h, w) = (
         input_shape[0],
         input_shape[1],
@@ -181,6 +185,7 @@ pub fn avgpool2d_backward(
 
 /// Global average pool: `[B,C,H,W] → [B,C]`.
 pub fn global_avgpool2d(input: &Tensor) -> Tensor {
+    let _t = geotorch_telemetry::scope!("tensor.global_avgpool2d");
     assert_eq!(input.ndim(), 4, "global_avgpool2d input must be [B,C,H,W]");
     let (b, c, h, w) = (
         input.shape()[0],

@@ -31,6 +31,7 @@ fn chunk_partials(data: &[f32], f: impl Fn(&[f32]) -> f64 + Sync) -> Vec<f64> {
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
+        let _t = geotorch_telemetry::scope!("tensor.reduce.sum");
         let data = self.as_slice();
         if data.len() >= PARALLEL_THRESHOLD {
             chunk_partials(data, |c| c.iter().map(|&v| v as f64).sum())
@@ -127,6 +128,7 @@ impl Tensor {
     /// # Panics
     /// If `axis` is out of range.
     pub fn sum_axis_keepdim(&self, axis: usize) -> Tensor {
+        let _t = geotorch_telemetry::scope!("tensor.reduce.sum_axis");
         self.reduce_axis_keepdim(axis, 0.0, |acc, v| acc + v)
     }
 

@@ -10,6 +10,7 @@ use crate::Tensor;
 impl Tensor {
     /// Softmax over the last axis, numerically stabilised by max-shift.
     pub fn softmax_lastdim(&self) -> Tensor {
+        let _t = geotorch_telemetry::scope!("tensor.softmax");
         assert!(self.ndim() >= 1, "softmax requires at least 1 axis");
         let cols = *self.shape().last().expect("non-empty shape");
         assert!(cols > 0, "softmax over empty axis");
@@ -45,6 +46,7 @@ impl Tensor {
 
     /// Log-softmax over the last axis (stable log-sum-exp).
     pub fn log_softmax_lastdim(&self) -> Tensor {
+        let _t = geotorch_telemetry::scope!("tensor.log_softmax");
         let cols = *self.shape().last().expect("non-empty shape");
         let rows = self.len() / cols;
         let src = self.as_slice();

@@ -139,7 +139,15 @@ pub mod train {
     pub use geotorch_nn::schedule::{clip_grad_norm, CosineLr, LrSchedule, StepLr};
     pub use geotorch_core::metrics;
     pub use geotorch_core::trainer::grid_io;
-    pub use geotorch_core::{TrainConfig, TrainReport, Trainer, UpdateMode};
+    pub use geotorch_core::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};
+}
+
+/// Lightweight runtime counters and timers (off by default; flip on with
+/// [`telemetry::set_enabled`] or run `repro --profile`).
+pub mod telemetry {
+    pub use geotorch_telemetry::{
+        enabled, reset, set_enabled, snapshot, snapshot_json, snapshot_markdown,
+    };
 }
 
 /// Everything a typical application needs.
