@@ -21,7 +21,7 @@ use rand::SeedableRng;
 
 use geotorch_bench::{
     make_grid_model, markdown_table, mean_and_spread, paper_train_config, set_representation,
-    CountingAllocator, GRID_MODEL_NAMES,
+    timing_cell, CountingAllocator, GRID_MODEL_NAMES,
 };
 use geotorch_core::Trainer;
 use geotorch_datasets::grid::GridDatasetBuilder;
@@ -459,7 +459,7 @@ fn table7(quick: bool) -> String {
             "Temperature".into(),
             "Prediction".into(),
             model_name.to_string(),
-            format!("{:.3}", report.mean_epoch_seconds()),
+            timing_cell(report.mean_epoch_seconds(), report.mean_samples_per_sec()),
         ]);
     }
 
@@ -487,7 +487,7 @@ fn table7(quick: bool) -> String {
             "EuroSAT".into(),
             "Classification".into(),
             model_name.to_string(),
-            format!("{:.3}", report.mean_epoch_seconds()),
+            timing_cell(report.mean_epoch_seconds(), report.mean_samples_per_sec()),
         ]);
     }
 
@@ -511,12 +511,15 @@ fn table7(quick: bool) -> String {
             "38-Cloud".into(),
             "Segmentation".into(),
             model_name.to_string(),
-            format!("{:.3}", report.mean_epoch_seconds()),
+            timing_cell(report.mean_epoch_seconds(), report.mean_samples_per_sec()),
         ]);
     }
     format!(
         "## Table VII — training time per epoch (seconds)\n\n{}",
-        markdown_table(&["dataset", "application", "model", "s/epoch"], &rows)
+        markdown_table(
+            &["dataset", "application", "model", "s/epoch (samples/s)"],
+            &rows,
+        )
     )
 }
 

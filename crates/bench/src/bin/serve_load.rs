@@ -1,0 +1,172 @@
+//! `serve_load` — closed-loop load generator for the `geotorch-serve`
+//! subsystem.
+//!
+//! ```sh
+//! cargo run --release -p geotorch-bench --bin serve_load -- [--quick] [--clients N] [--requests N]
+//! ```
+//!
+//! Starts the same model twice — once with micro-batching disabled
+//! (`max_batch = 1`, the one-forward-per-request baseline) and once with
+//! the dynamic batcher on (`max_batch = 8`) — and drives each over real
+//! HTTP with N concurrent clients. Reports throughput and p50/p95/p99
+//! latency per configuration as a markdown table (also written to
+//! `results/serve_load.md`), and exits non-zero unless the batched
+//! configuration achieves strictly higher throughput.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use rand::SeedableRng;
+
+use geotorch_bench::{markdown_table, LatencySummary};
+use geotorch_models::raster::SatCnn;
+use geotorch_serve::{BatchConfig, Registry, Server, ServeConfig};
+use geotorch_tensor::{Device, Tensor};
+
+const MODEL: &str = "satcnn";
+
+fn registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register_classifier(MODEL, None, || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        SatCnn::new(3, 32, 32, 10, &mut rng)
+    });
+    registry
+}
+
+/// One blocking HTTP POST over a fresh connection; returns the status.
+fn post(addr: SocketAddr, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+struct RunResult {
+    throughput: f64,
+    latency: LatencySummary,
+}
+
+/// Drive `clients` threads × `requests` requests against a freshly
+/// started server with the given batching limit.
+fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+        },
+        http_workers: clients.max(1),
+        enable_telemetry: false,
+    };
+    let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
+    let addr = server.addr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+    let payload = serde_json::to_string(&sample).expect("serialize sample");
+    let path = format!("/predict/{MODEL}");
+
+    // Warm up the kernel pool and the per-thread scratch space so the
+    // timed window measures steady state.
+    for _ in 0..2 {
+        assert_eq!(post(addr, &path, &payload), 200, "warm-up request failed");
+    }
+
+    let started = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let payload = payload.as_str();
+                let path = path.as_str();
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let sent = Instant::now();
+                        let status = post(addr, path, payload);
+                        assert_eq!(status, 200, "request failed under load");
+                        latencies.push(sent.elapsed().as_secs_f64());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    server.shutdown();
+    RunResult {
+        throughput: latencies.len() as f64 / wall,
+        latency: LatencySummary::from_secs(&latencies),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = flag("--clients", 8);
+    let requests = flag("--requests", if quick { 12 } else { 40 });
+
+    eprintln!("serve_load: {clients} clients x {requests} requests per configuration");
+    let configs = [("no batching (max_batch=1)", 1), ("micro-batching (max_batch=8)", 8)];
+    let results: Vec<RunResult> = configs
+        .iter()
+        .map(|&(label, max_batch)| {
+            eprintln!("running {label} ...");
+            run(max_batch, clients, requests)
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&results)
+        .map(|(&(label, _), r)| {
+            vec![
+                label.to_string(),
+                format!("{:.1}", r.throughput),
+                format!("{:.2}", r.latency.p50_ms),
+                format!("{:.2}", r.latency.p95_ms),
+                format!("{:.2}", r.latency.p99_ms),
+                format!("{:.2}", r.latency.mean_ms),
+            ]
+        })
+        .collect();
+    let table = markdown_table(
+        &["configuration", "req/s", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+        &rows,
+    );
+    let speedup = results[1].throughput / results[0].throughput.max(1e-9);
+    let report = format!(
+        "## Serving throughput — dynamic micro-batching vs per-request forwards\n\n{table}\n_batched/unbatched speedup: {speedup:.2}x ({clients} clients, {requests} requests each)_\n"
+    );
+    println!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/serve_load.md", &report).ok();
+
+    if results[1].throughput <= results[0].throughput {
+        eprintln!(
+            "FAIL: micro-batching must beat the per-request baseline ({:.1} <= {:.1} req/s)",
+            results[1].throughput, results[0].throughput
+        );
+        std::process::exit(1);
+    }
+}

@@ -250,7 +250,9 @@ impl Trainer {
         // Restore the best-on-validation weights (the paper's protocol
         // evaluates the converged model, not the last epoch).
         if let Some(state) = best_state {
-            model.load_state_dict(&state);
+            model
+                .load_state_dict(&state)
+                .expect("state dict snapshot of the same model always matches");
         }
         report
     }
@@ -303,7 +305,8 @@ impl Trainer {
         for batch_idx in BatchIndices::new(indices, self.config.batch_size) {
             let batch = dataset.batch(&batch_idx);
             let (input, target) = grid_io(&batch);
-            preds.push(model.forward(&input).value());
+            // Evaluation never calls backward; skip building the tape.
+            preds.push(geotorch_nn::no_grad(|| model.forward(&input).value()));
             targets.push(target.value());
         }
         if preds.is_empty() {
@@ -366,7 +369,8 @@ impl Trainer {
             let batch = dataset.batch(&batch_idx);
             let x = Var::constant(batch.x);
             let features = batch.features.map(Var::constant);
-            let logits = model.forward(&x, features.as_ref()).value();
+            let logits =
+                geotorch_nn::no_grad(|| model.forward(&x, features.as_ref()).value());
             // Exact integer counts — reconstructing them from a per-batch
             // accuracy float loses precision on large batches.
             correct += metrics::correct_count(&logits, &batch.labels);
@@ -427,7 +431,7 @@ impl Trainer {
             let batch = dataset.batch(&batch_idx);
             let x = Var::constant(batch.x);
             let masks = batch.masks.expect("segmentation dataset");
-            let logits = model.forward(&x).value();
+            let logits = geotorch_nn::no_grad(|| model.forward(&x).value());
             // Weight by pixel count: averaging per-batch accuracies
             // unweighted over-weights a ragged final batch.
             correct += metrics::pixel_correct_count(&logits, &masks);

@@ -194,7 +194,7 @@ mod tests {
         // Mutate, then restore.
         bn.set_running_stats(Tensor::zeros(&[2]), Tensor::ones(&[2]));
         assert_ne!(bn.running_mean(), drifted_mean);
-        bn.load_state_dict(&saved);
+        bn.load_state_dict(&saved).unwrap();
         assert_eq!(bn.running_mean(), drifted_mean);
     }
 

@@ -40,5 +40,5 @@ pub mod optim;
 pub mod schedule;
 mod var;
 
-pub use module::{Layer, Module};
-pub use var::Var;
+pub use module::{Layer, Module, StateDictError};
+pub use var::{is_no_grad, no_grad, Var};

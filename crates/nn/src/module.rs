@@ -4,6 +4,45 @@ use geotorch_tensor::Tensor;
 
 use crate::Var;
 
+/// Why a state dict could not be loaded into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateDictError {
+    /// The state dict holds a different number of tensors than the model
+    /// has parameters.
+    CountMismatch {
+        /// Parameters the model exposes.
+        model: usize,
+        /// Tensors the state dict holds.
+        state: usize,
+    },
+    /// A tensor's shape does not match the corresponding parameter.
+    ShapeMismatch {
+        /// Position in the parameter list.
+        index: usize,
+        /// The model parameter's shape.
+        model: Vec<usize>,
+        /// The state-dict tensor's shape.
+        state: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for StateDictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDictError::CountMismatch { model, state } => write!(
+                f,
+                "state dict has {state} tensors, model has {model} parameters"
+            ),
+            StateDictError::ShapeMismatch { index, model, state } => write!(
+                f,
+                "parameter {index}: model shape {model:?} does not match state-dict shape {state:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateDictError {}
+
 /// Anything that owns trainable parameters.
 ///
 /// Mirrors the role of `torch.nn.Module` in the paper's listings: models in
@@ -25,20 +64,30 @@ pub trait Module {
 
     /// Restore parameter values from [`Module::state_dict`] output.
     ///
-    /// # Panics
-    /// If the number of tensors or any shape differs.
-    fn load_state_dict(&self, state: &[Tensor]) {
+    /// Every shape is validated *before* anything is assigned, so a
+    /// mismatched state dict (e.g. a checkpoint from a differently sized
+    /// architecture) returns an error and leaves the model untouched.
+    fn load_state_dict(&self, state: &[Tensor]) -> Result<(), StateDictError> {
         let params = self.parameters();
-        assert_eq!(
-            params.len(),
-            state.len(),
-            "state dict has {} tensors, model has {} parameters",
-            state.len(),
-            params.len()
-        );
+        if params.len() != state.len() {
+            return Err(StateDictError::CountMismatch {
+                model: params.len(),
+                state: state.len(),
+            });
+        }
+        for (index, (p, t)) in params.iter().zip(state).enumerate() {
+            if p.shape() != t.shape() {
+                return Err(StateDictError::ShapeMismatch {
+                    index,
+                    model: p.shape(),
+                    state: t.shape().to_vec(),
+                });
+            }
+        }
         for (p, t) in params.iter().zip(state) {
             p.assign(t.clone());
         }
+        Ok(())
     }
 
     /// Total number of scalar parameters.
@@ -82,17 +131,42 @@ mod tests {
         };
         let saved = m.state_dict();
         m.parameters()[0].assign(Tensor::from_vec(vec![5.0], &[1]));
-        m.load_state_dict(&saved);
+        m.load_state_dict(&saved).unwrap();
         assert_eq!(m.parameters()[0].value().as_slice(), &[2.0]);
         assert_eq!(m.num_parameters(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "state dict has")]
     fn load_rejects_wrong_length() {
         let m = Scale {
             w: Var::parameter(Tensor::zeros(&[1])),
         };
-        m.load_state_dict(&[]);
+        assert_eq!(
+            m.load_state_dict(&[]),
+            Err(StateDictError::CountMismatch { model: 1, state: 0 })
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_shape_without_mutating() {
+        let m = Scale {
+            w: Var::parameter(Tensor::from_vec(vec![1.0, 2.0], &[2])),
+        };
+        let err = m
+            .load_state_dict(&[Tensor::zeros(&[3])])
+            .expect_err("shape mismatch must error");
+        assert_eq!(
+            err,
+            StateDictError::ShapeMismatch {
+                index: 0,
+                model: vec![2],
+                state: vec![3],
+            }
+        );
+        assert_eq!(
+            m.parameters()[0].value().as_slice(),
+            &[1.0, 2.0],
+            "failed load must leave parameters untouched"
+        );
     }
 }

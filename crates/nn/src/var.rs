@@ -1,6 +1,6 @@
 //! The autograd variable and the reverse-mode tape.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -8,6 +8,38 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use geotorch_tensor::Tensor;
 
 static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static NO_GRAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with tape recording disabled on this thread.
+///
+/// Inside the closure every op result is a *leaf*: [`Var::from_op`] drops
+/// the parent list and the backward closure, so no autograd graph is
+/// built and intermediate values are freed as soon as the ops that
+/// consume them finish. This is the inference fast path — the serving
+/// scheduler and the trainer's evaluation passes run under it — and it
+/// mirrors `torch.no_grad()`.
+///
+/// Nesting is allowed; the previous state is restored on exit (also on
+/// panic). Calling `backward` on a value produced under `no_grad` is a
+/// no-op beyond seeding that value's own gradient slot.
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NO_GRAD.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(NO_GRAD.with(|c| c.replace(true)));
+    f()
+}
+
+/// Whether tape recording is currently disabled on this thread.
+pub fn is_no_grad() -> bool {
+    NO_GRAD.with(|c| c.get())
+}
 
 /// Computes gradients for a node's parents given the node's output
 /// gradient. Returns one tensor per parent, in parent order.
@@ -57,8 +89,15 @@ impl Var {
         Var::make(value, true, Vec::new(), None)
     }
 
-    /// Internal: an op result node.
+    /// Internal: an op result node. Under [`no_grad`] the tape entry is
+    /// elided — the result is a plain leaf with no parents and no
+    /// backward closure.
     pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        if is_no_grad() {
+            drop(parents);
+            drop(backward);
+            return Var::make(value, false, Vec::new(), None);
+        }
         Var::make(value, false, parents, Some(backward))
     }
 
@@ -323,6 +362,36 @@ mod tests {
     #[should_panic(expected = "assign shape mismatch")]
     fn assign_rejects_shape_change() {
         Var::parameter(Tensor::zeros(&[2])).assign(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn no_grad_matches_recorded_values_but_blocks_gradients() {
+        let w = Var::parameter(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let x = Var::constant(Tensor::from_vec(vec![4.0, 5.0], &[2]));
+        let recorded = w.mul(&x).sum_all();
+        let silent = no_grad(|| w.mul(&x).sum_all());
+        assert_eq!(silent.value().item(), recorded.value().item());
+        assert!(!is_no_grad(), "flag restored after the closure");
+        silent.backward();
+        assert!(
+            w.grad().is_none(),
+            "no_grad results must not route gradients to parameters"
+        );
+        recorded.backward();
+        assert_eq!(w.grad().unwrap().as_slice(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn no_grad_nests_and_restores_on_panic() {
+        no_grad(|| {
+            assert!(is_no_grad());
+            no_grad(|| assert!(is_no_grad()));
+            assert!(is_no_grad(), "inner scope must not clear the outer one");
+        });
+        assert!(!is_no_grad());
+        let caught = std::panic::catch_unwind(|| no_grad(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert!(!is_no_grad(), "flag restored even when the closure panics");
     }
 
     #[test]

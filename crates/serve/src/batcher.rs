@@ -1,0 +1,329 @@
+//! The dynamic micro-batching scheduler.
+//!
+//! Each served model is owned by one dedicated worker thread — the
+//! autograd graph (`Rc`-based [`Var`]) is single-threaded by design, so
+//! the model is built, checkpoint-loaded, and run entirely on that
+//! thread. Callers talk to it through a cloneable [`ModelClient`]:
+//! `predict` sends a sample-shaped tensor over a channel and blocks on a
+//! one-shot reply.
+//!
+//! The worker drains its queue into batches: the first request opens a
+//! batch and starts a `max_wait_ms` timer; more requests join until the
+//! batch holds `max_batch` samples or the timer fires, whichever comes
+//! first. Same-shaped samples are stacked into one `[K, ...]` tensor and
+//! run through a single no-grad forward on the configured device (conv
+//! and matmul kernels split over the batch axis on `Device::Parallel`,
+//! which is where micro-batching beats one-forward-per-request); the
+//! output rows are scattered back to the callers. Ragged shapes are
+//! legal — a batch is partitioned into per-shape groups, one forward
+//! each, so every caller gets exactly what a sequential forward would
+//! have produced.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use geotorch_nn::{no_grad, Var};
+use geotorch_tensor::{with_device, Device, Tensor};
+use geotorch_telemetry::Stat;
+
+use crate::{ServeError, ServeModel};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Most samples stacked into one forward. `1` disables micro-batching
+    /// (every request runs alone — the baseline the load generator
+    /// compares against).
+    pub max_batch: usize,
+    /// How long an open batch waits for more requests before a partial
+    /// batch is flushed.
+    pub max_wait_ms: u64,
+    /// Device the batched forward runs on.
+    pub device: Device,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+        }
+    }
+}
+
+struct Request {
+    input: Tensor,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Tensor, ServeError>>,
+}
+
+/// Queue messages. `Shutdown` is an explicit sentinel (sent by
+/// [`ModelWorker::shutdown`]/drop) so the worker can stop even while
+/// [`ModelClient`] clones — which keep the channel connected — are still
+/// alive. The queue is FIFO, so every request enqueued before the
+/// sentinel is still served; requests sent after it fail.
+enum Msg {
+    Predict(Request),
+    Shutdown,
+}
+
+/// Handle to a model owner thread. Dropping (or calling
+/// [`ModelWorker::shutdown`]) stops the thread after the queue drains.
+pub struct ModelWorker {
+    name: String,
+    tx: Option<mpsc::Sender<Msg>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Cheap, cloneable submission handle for one served model.
+#[derive(Clone)]
+pub struct ModelClient {
+    name: String,
+    tx: mpsc::Sender<Msg>,
+}
+
+impl ModelWorker {
+    /// Spawn the owner thread for one model.
+    ///
+    /// `init` runs *on the worker thread* (models are not `Send`) and
+    /// should construct the model and load its checkpoint; its error —
+    /// e.g. a wrong-architecture checkpoint — is propagated back out of
+    /// `spawn`, so a server never starts half-broken. The model is
+    /// switched to eval mode before the first request is served.
+    pub fn spawn<F>(name: &str, config: BatchConfig, init: F) -> Result<ModelWorker, ServeError>
+    where
+        F: FnOnce() -> Result<Box<dyn ServeModel>, ServeError> + Send + 'static,
+    {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
+        let thread_name = format!("serve-{name}");
+        let stat_name = name.to_string();
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let model = match init() {
+                    Ok(model) => model,
+                    Err(e) => {
+                        ready_tx.send(Err(e)).ok();
+                        return;
+                    }
+                };
+                // Serving is inference: running statistics frozen,
+                // dropout off. Do it here, once, so no request can ever
+                // observe a train-mode forward.
+                model.set_training(false);
+                ready_tx.send(Ok(())).ok();
+                let model_stat = geotorch_telemetry::register_dynamic(format!(
+                    "serve.model.{stat_name}"
+                ));
+                serve_loop(model.as_ref(), &rx, config, model_stat);
+            })
+            .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(ModelWorker {
+                name: name.to_string(),
+                tx: Some(tx),
+                join: Some(join),
+            }),
+            Ok(Err(e)) => {
+                join.join().ok();
+                Err(e)
+            }
+            Err(_) => {
+                join.join().ok();
+                Err(ServeError::Internal(
+                    "model worker died during initialisation".to_string(),
+                ))
+            }
+        }
+    }
+
+    /// The model name this worker serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> ModelClient {
+        ModelClient {
+            name: self.name.clone(),
+            tx: self.tx.as_ref().expect("worker is running").clone(),
+        }
+    }
+
+    /// Stop the worker: every request already enqueued is still served,
+    /// then the owner thread exits and is joined. Requests submitted
+    /// after this call fail with [`ServeError::Internal`], even through
+    /// [`ModelClient`] clones that outlive the worker.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            tx.send(Msg::Shutdown).ok();
+        }
+        if let Some(join) = self.join.take() {
+            join.join().ok();
+        }
+    }
+}
+
+impl Drop for ModelWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ModelWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelWorker")
+            .field("name", &self.name)
+            .field("running", &self.tx.is_some())
+            .finish()
+    }
+}
+
+impl ModelClient {
+    /// The model name requests go to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Predict one sample (shaped like a single batch row, e.g.
+    /// `[C, H, W]`). Blocks until the scheduler has batched, run, and
+    /// scattered the forward.
+    pub fn predict(&self, sample: Tensor) -> Result<Tensor, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Predict(Request {
+                input: sample,
+                enqueued: Instant::now(),
+                reply: reply_tx,
+            }))
+            .map_err(|_| ServeError::Internal("model worker has shut down".to_string()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| ServeError::Internal("model worker dropped the request".to_string()))?
+    }
+}
+
+static REQUESTS: OnceLock<&'static Stat> = OnceLock::new();
+static BATCHES: OnceLock<&'static Stat> = OnceLock::new();
+static BATCH_SIZE: OnceLock<&'static Stat> = OnceLock::new();
+static QUEUE_WAIT: OnceLock<&'static Stat> = OnceLock::new();
+
+fn serve_loop(
+    model: &dyn ServeModel,
+    rx: &mpsc::Receiver<Msg>,
+    config: BatchConfig,
+    model_stat: &'static Stat,
+) {
+    loop {
+        // Block for the head of the next batch; the shutdown sentinel
+        // (or a fully disconnected channel) stops the worker.
+        let first = match rx.recv() {
+            Ok(Msg::Predict(r)) => r,
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
+        let deadline = Instant::now() + Duration::from_millis(config.max_wait_ms);
+        let mut batch = vec![first];
+        let mut stopping = false;
+        while batch.len() < config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Msg::Predict(r)) => batch.push(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Ok(Msg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    stopping = true;
+                    break;
+                }
+            }
+        }
+        run_batch(model, batch, config, model_stat);
+        if stopping {
+            return;
+        }
+    }
+}
+
+/// Partition a batch into same-shape groups (arrival order preserved
+/// within each group), run one stacked forward per group, scatter the
+/// rows back.
+fn run_batch(
+    model: &dyn ServeModel,
+    batch: Vec<Request>,
+    config: BatchConfig,
+    model_stat: &'static Stat,
+) {
+    if geotorch_telemetry::enabled() {
+        let now = Instant::now();
+        geotorch_telemetry::stat(&REQUESTS, "serve.requests").add(batch.len() as u64);
+        geotorch_telemetry::stat(&BATCHES, "serve.batches").add(1);
+        geotorch_telemetry::stat(&BATCH_SIZE, "serve.batch_size").add(batch.len() as u64);
+        let wait = geotorch_telemetry::stat(&QUEUE_WAIT, "serve.queue_wait");
+        for r in &batch {
+            wait.record_ns(now.duration_since(r.enqueued).as_nanos() as u64);
+        }
+        model_stat.add(batch.len() as u64);
+    }
+
+    let mut groups: Vec<(Vec<usize>, Vec<Request>)> = Vec::new();
+    for request in batch {
+        let shape = request.input.shape().to_vec();
+        match groups.iter_mut().find(|(s, _)| *s == shape) {
+            Some((_, members)) => members.push(request),
+            None => groups.push((shape, vec![request])),
+        }
+    }
+
+    for (shape, members) in groups {
+        let inputs: Vec<&Tensor> = members.iter().map(|r| &r.input).collect();
+        let stacked = Tensor::stack(&inputs);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_device(config.device, || {
+                no_grad(|| model.predict(&Var::constant(stacked)).value())
+            })
+        }));
+        if geotorch_telemetry::enabled() {
+            model_stat.record_ns(start.elapsed().as_nanos() as u64);
+        }
+        match result {
+            Ok(output) if output.shape().first() == Some(&members.len()) => {
+                for (i, request) in members.iter().enumerate() {
+                    request.reply.send(Ok(output.index_axis(0, i))).ok();
+                }
+            }
+            Ok(output) => {
+                let err = ServeError::Internal(format!(
+                    "model returned batch axis {:?} for {} inputs of shape {shape:?}",
+                    output.shape().first(),
+                    members.len()
+                ));
+                for request in &members {
+                    request.reply.send(Err(err.clone())).ok();
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "forward pass panicked".to_string());
+                let err = ServeError::Internal(format!("forward pass panicked: {msg}"));
+                for request in &members {
+                    request.reply.send(Err(err.clone())).ok();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! A hand-rolled HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! No external HTTP dependency: requests are parsed with a small
+//! byte-scanner (request line, headers, `Content-Length` body), bodies
+//! are JSON rendered through the vendored `serde_json`. A fixed pool of
+//! worker threads shares the listener (each holds its own
+//! `try_clone`d handle and blocks in `accept`), so slow clients only
+//! stall their own worker.
+//!
+//! | Endpoint | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/predict/<model>` | POST | `{"shape": [...], "data": [...]}` (one sample, no batch axis) | `{"model": ..., "shape": [...], "data": [...]}` |
+//! | `/healthz` | GET | — | `{"status": "ok", "models": [...]}` |
+//! | `/metrics` | GET | — | `geotorch-telemetry` snapshot (`serve.*` stats included) |
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use geotorch_tensor::Tensor;
+use serde::{Serialize, Value};
+
+use crate::batcher::{BatchConfig, ModelClient, ModelWorker};
+use crate::{Registry, ServeError};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Micro-batching knobs shared by every served model.
+    pub batch: BatchConfig,
+    /// HTTP worker threads sharing the accept loop.
+    pub http_workers: usize,
+    /// Turn on `geotorch-telemetry` recording at startup so `/metrics`
+    /// has data. Leave `false` to manage telemetry yourself.
+    pub enable_telemetry: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch: BatchConfig::default(),
+            http_workers: 4,
+            enable_telemetry: true,
+        }
+    }
+}
+
+/// Largest accepted request body (a guard against hostile
+/// `Content-Length`, not a tuning knob).
+const MAX_BODY: usize = 64 << 20;
+
+/// A running inference server: model owner threads plus an HTTP front.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    http_joins: Vec<JoinHandle<()>>,
+    workers: BTreeMap<String, ModelWorker>,
+}
+
+impl Server {
+    /// Build every registered model (loading checkpoints, eval mode),
+    /// bind `addr` (use port 0 for an ephemeral port), and start
+    /// serving. Any model that fails to build or load aborts startup
+    /// with the error.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        config: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        if config.enable_telemetry {
+            geotorch_telemetry::set_enabled(true);
+        }
+        let workers = registry.spawn_all(config.batch)?;
+        let clients: BTreeMap<String, ModelClient> = workers
+            .iter()
+            .map(|(name, w)| (name.clone(), w.client()))
+            .collect();
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Internal(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Internal(format!("local_addr failed: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut http_joins = Vec::new();
+        for i in 0..config.http_workers.max(1) {
+            let listener = listener
+                .try_clone()
+                .map_err(|e| ServeError::Internal(format!("listener clone failed: {e}")))?;
+            let clients = clients.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let join = std::thread::Builder::new()
+                .name(format!("serve-http-{i}"))
+                .spawn(move || accept_loop(&listener, &clients, &shutdown))
+                .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
+            http_joins.push(join);
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            http_joins,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the actual port when started on 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Names of the models being served.
+    pub fn models(&self) -> Vec<String> {
+        self.workers.keys().cloned().collect()
+    }
+
+    /// Stop accepting connections, drain in-flight work, join every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock every worker parked in accept() with one dummy
+        // connection each; workers re-check the flag before handling.
+        for _ in 0..self.http_joins.len() {
+            TcpStream::connect(self.addr).ok();
+        }
+        for join in self.http_joins.drain(..) {
+            join.join().ok();
+        }
+        // HTTP workers (and their ModelClient clones) are gone; dropping
+        // the workers disconnects each model channel and joins the
+        // owner threads.
+        std::mem::take(&mut self.workers);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    clients: &BTreeMap<String, ModelClient>,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        handle_connection(stream, clients);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, clients: &BTreeMap<String, ModelClient>) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .ok();
+    let (status, body) = match read_request(&mut stream) {
+        Ok((method, path, body)) => route(&method, &path, &body, clients),
+        Err(msg) => (400, error_json(&msg)),
+    };
+    geotorch_telemetry::count!("serve.http.requests", 1);
+    write_response(&mut stream, status, &body);
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    clients: &BTreeMap<String, ModelClient>,
+) -> (u16, String) {
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let models = Value::Array(
+                clients
+                    .keys()
+                    .map(|name| Value::String(name.clone()))
+                    .collect(),
+            );
+            let payload = Value::Object(vec![
+                ("status".to_string(), "ok".to_value()),
+                ("models".to_string(), models),
+            ]);
+            (200, render(&payload))
+        }
+        ("GET", "/metrics") => (200, geotorch_telemetry::snapshot_json()),
+        ("POST", _) if path.starts_with("/predict/") => {
+            let name = &path["/predict/".len()..];
+            match clients.get(name) {
+                None => (404, error_json(&ServeError::ModelNotFound(name.to_string()).to_string())),
+                Some(client) => match predict(client, name, body) {
+                    Ok(json) => (200, json),
+                    Err(ServeError::BadRequest(msg)) => (400, error_json(&msg)),
+                    Err(e) => (500, error_json(&e.to_string())),
+                },
+            }
+        }
+        _ => (404, error_json(&format!("no route for {method} {path}"))),
+    }
+}
+
+fn predict(client: &ModelClient, name: &str, body: &str) -> Result<String, ServeError> {
+    let sample: Tensor = serde_json::from_str(body)
+        .map_err(|e| ServeError::BadRequest(format!("tensor payload: {e}")))?;
+    let output = client.predict(sample)?;
+    let mut fields = vec![("model".to_string(), name.to_value())];
+    match output.to_value() {
+        Value::Object(tensor_fields) => fields.extend(tensor_fields),
+        other => fields.push(("output".to_string(), other)),
+    }
+    Ok(render(&Value::Object(fields)))
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| error_json(&e.to_string()))
+}
+
+fn error_json(msg: &str) -> String {
+    render(&Value::Object(vec![(
+        "error".to_string(),
+        msg.to_value(),
+    )]))
+}
+
+/// Read one request: `(method, path, body)`.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 << 10 {
+            return Err("headers too large".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    Ok((method, path, body))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).ok();
+    stream.flush().ok();
+}

@@ -1,0 +1,147 @@
+//! # geotorch-serve
+//!
+//! The inference serving subsystem of GeoTorch-RS — the piece that turns
+//! a trained checkpoint into something that answers prediction requests,
+//! closing the training → deployment gap the geospatial-ML library
+//! surveys keep pointing at.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`registry`] — a [`registry::Registry`] maps model names to
+//!   constructors for the existing raster/grid models plus an optional
+//!   checkpoint path; loading validates the checkpoint header (model
+//!   name, tensor shapes) and flips the model to eval mode.
+//! * [`batcher`] — a dynamic micro-batching scheduler. Each model gets a
+//!   dedicated owner thread (the autograd [`Var`] graph is deliberately
+//!   single-threaded, so the model never crosses threads); concurrent
+//!   requests queue up to `max_batch`/`max_wait_ms`, are stacked into one
+//!   batched no-grad forward on the configured device, and the rows of
+//!   the output are scattered back to the callers.
+//! * [`http`] — a hand-rolled HTTP/1.1 server on `std::net::TcpListener`
+//!   with a worker-thread accept loop and JSON bodies: `POST
+//!   /predict/<model>`, `GET /healthz`, and `GET /metrics` (a
+//!   `geotorch-telemetry` snapshot including the `serve.*` stats).
+//!
+//! ```no_run
+//! use geotorch_serve::{Registry, ServeConfig, Server};
+//! use geotorch_models::raster::SatCnn;
+//! use rand::SeedableRng;
+//!
+//! let mut registry = Registry::new();
+//! registry.register_classifier("satcnn", None, || {
+//!     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//!     SatCnn::new(3, 32, 32, 10, &mut rng)
+//! });
+//! let server = Server::start("127.0.0.1:0", registry, ServeConfig::default()).unwrap();
+//! println!("serving on {}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod http;
+pub mod registry;
+
+pub use batcher::{BatchConfig, ModelClient, ModelWorker};
+pub use http::{ServeConfig, Server};
+pub use registry::Registry;
+
+use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};
+use geotorch_nn::{Module, Var};
+
+/// A model as the serving layer sees it: one batched tensor in, one
+/// batched tensor out, with the leading axis as the batch axis on both
+/// sides. The registry adapts the three model families of
+/// `geotorch-models` onto this.
+pub trait ServeModel: Module {
+    /// Run a batched forward pass (`[B, ...] → [B, ...]`).
+    fn predict(&self, batch: &Var) -> Var;
+}
+
+/// Anything that can go wrong between a request arriving and a
+/// prediction leaving. String-based so it can cross the channel between
+/// HTTP workers and model owner threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model registered under the requested name.
+    ModelNotFound(String),
+    /// The model could not be constructed or its checkpoint refused to
+    /// load (wrong architecture, wrong name, corrupt file).
+    ModelLoad(String),
+    /// The request body was not a valid tensor payload.
+    BadRequest(String),
+    /// The forward pass panicked or the worker is gone.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ModelNotFound(name) => write!(f, "no model named `{name}`"),
+            ServeError::ModelLoad(msg) => write!(f, "model failed to load: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// [`ServeModel`] adapter for a [`RasterClassifier`] (served without the
+/// optional handcrafted-feature input).
+pub struct ClassifierServe<M: RasterClassifier>(pub M);
+
+impl<M: RasterClassifier> Module for ClassifierServe<M> {
+    fn parameters(&self) -> Vec<Var> {
+        self.0.parameters()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.0.set_training(training);
+    }
+}
+
+impl<M: RasterClassifier> ServeModel for ClassifierServe<M> {
+    fn predict(&self, batch: &Var) -> Var {
+        self.0.forward(batch, None)
+    }
+}
+
+/// [`ServeModel`] adapter for a [`Segmenter`].
+pub struct SegmenterServe<M: Segmenter>(pub M);
+
+impl<M: Segmenter> Module for SegmenterServe<M> {
+    fn parameters(&self) -> Vec<Var> {
+        self.0.parameters()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.0.set_training(training);
+    }
+}
+
+impl<M: Segmenter> ServeModel for SegmenterServe<M> {
+    fn predict(&self, batch: &Var) -> Var {
+        self.0.forward(batch)
+    }
+}
+
+/// [`ServeModel`] adapter for a [`GridModel`] served in the basic
+/// (single-frame `[B, C, H, W]`) representation.
+pub struct GridServe<M: GridModel>(pub M);
+
+impl<M: GridModel> Module for GridServe<M> {
+    fn parameters(&self) -> Vec<Var> {
+        self.0.parameters()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.0.set_training(training);
+    }
+}
+
+impl<M: GridModel> ServeModel for GridServe<M> {
+    fn predict(&self, batch: &Var) -> Var {
+        self.0.forward(&GridInput::Basic(batch.clone()))
+    }
+}

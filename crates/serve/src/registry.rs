@@ -1,0 +1,134 @@
+//! The model registry: name → constructor (+ optional checkpoint).
+//!
+//! A [`Registry`] is the declarative half of the serving subsystem: it
+//! records how to *build* each model and where its trained weights live.
+//! [`Registry::spawn_all`] (called by [`crate::Server::start`]) turns
+//! every entry into a [`ModelWorker`]: the constructor runs on the
+//! worker thread, the checkpoint is loaded through
+//! [`geotorch_core::checkpoint::load_named`] — so a wrong-architecture
+//! or wrong-model checkpoint aborts startup with an error instead of a
+//! panic — and the model is flipped to eval mode before the first
+//! request.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use geotorch_models::{GridModel, RasterClassifier, Segmenter};
+
+use crate::batcher::{BatchConfig, ModelWorker};
+use crate::{ClassifierServe, GridServe, SegmenterServe, ServeError, ServeModel};
+
+type Builder = Arc<dyn Fn() -> Box<dyn ServeModel> + Send + Sync>;
+
+struct Entry {
+    builder: Builder,
+    checkpoint: Option<PathBuf>,
+}
+
+/// Named model constructors with optional checkpoints.
+#[derive(Default)]
+pub struct Registry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a model under `name`. `build` runs on the serving
+    /// thread; seed any RNG inside it so rebuilds are deterministic.
+    /// When `checkpoint` is given, the file is loaded (with header
+    /// validation against `name`) right after construction.
+    pub fn register<F>(&mut self, name: &str, checkpoint: Option<PathBuf>, build: F)
+    where
+        F: Fn() -> Box<dyn ServeModel> + Send + Sync + 'static,
+    {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                builder: Arc::new(build),
+                checkpoint,
+            },
+        );
+    }
+
+    /// Register a [`RasterClassifier`] (served without the optional
+    /// handcrafted-feature input).
+    pub fn register_classifier<M, F>(&mut self, name: &str, checkpoint: Option<PathBuf>, build: F)
+    where
+        M: RasterClassifier + 'static,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        self.register(name, checkpoint, move || Box::new(ClassifierServe(build())));
+    }
+
+    /// Register a [`Segmenter`].
+    pub fn register_segmenter<M, F>(&mut self, name: &str, checkpoint: Option<PathBuf>, build: F)
+    where
+        M: Segmenter + 'static,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        self.register(name, checkpoint, move || Box::new(SegmenterServe(build())));
+    }
+
+    /// Register a [`GridModel`] served in the basic `[B, C, H, W]`
+    /// representation.
+    pub fn register_grid<M, F>(&mut self, name: &str, checkpoint: Option<PathBuf>, build: F)
+    where
+        M: GridModel + 'static,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        self.register(name, checkpoint, move || Box::new(GridServe(build())));
+    }
+
+    /// The registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Spawn one [`ModelWorker`] per entry. The first model that fails
+    /// to build or load aborts the whole call (already-spawned workers
+    /// shut down cleanly on drop).
+    pub fn spawn_all(
+        &self,
+        config: BatchConfig,
+    ) -> Result<BTreeMap<String, ModelWorker>, ServeError> {
+        let mut workers = BTreeMap::new();
+        for (name, entry) in &self.entries {
+            let builder = Arc::clone(&entry.builder);
+            let checkpoint = entry.checkpoint.clone();
+            let model_name = name.clone();
+            let worker = ModelWorker::spawn(name, config, move || {
+                let model = builder();
+                if let Some(path) = &checkpoint {
+                    load_checkpoint(model.as_ref(), &model_name, path)?;
+                }
+                Ok(model)
+            })?;
+            workers.insert(name.clone(), worker);
+        }
+        Ok(workers)
+    }
+}
+
+fn load_checkpoint(
+    model: &dyn ServeModel,
+    name: &str,
+    path: &Path,
+) -> Result<(), ServeError> {
+    geotorch_core::checkpoint::load_named(model, name, path)
+        .map_err(|e| ServeError::ModelLoad(format!("{name}: {e}")))
+}

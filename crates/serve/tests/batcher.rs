@@ -1,0 +1,292 @@
+//! Scheduler correctness: batched serving must be indistinguishable
+//! from one-at-a-time no-grad forwards, regardless of how requests
+//! interleave or how ragged their shapes are.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use geotorch_models::raster::Fcn;
+use geotorch_models::Segmenter;
+use geotorch_nn::{no_grad, Module, Var};
+use geotorch_serve::{BatchConfig, ModelWorker, SegmenterServe, ServeModel};
+use geotorch_tensor::{Device, Tensor};
+use rand::SeedableRng;
+
+fn cpu_config(max_batch: usize, max_wait_ms: u64) -> BatchConfig {
+    BatchConfig {
+        max_batch,
+        max_wait_ms,
+        device: Device::Cpu,
+    }
+}
+
+fn fcn() -> Fcn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    Fcn::new(2, 1, 4, &mut rng)
+}
+
+/// Sample-shaped inputs with *ragged* spatial extents (all divisible by
+/// 8 for the FCN), deterministic per index.
+fn ragged_samples(n: usize) -> Vec<Tensor> {
+    let sizes = [(16, 16), (24, 16), (16, 24), (32, 32)];
+    (0..n)
+        .map(|i| {
+            let (h, w) = sizes[i % sizes.len()];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+            Tensor::rand_uniform(&[2, h, w], -1.0, 1.0, &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_ragged_requests_match_sequential_no_grad_forwards() {
+    const K: usize = 12;
+    let samples = ragged_samples(K);
+
+    // Reference: the same model (same seed), eval mode, one no-grad
+    // forward per sample with an explicit batch axis of 1.
+    let reference_model = fcn();
+    reference_model.set_training(false);
+    let expected: Vec<Tensor> = samples
+        .iter()
+        .map(|s| {
+            let mut shape = vec![1];
+            shape.extend_from_slice(s.shape());
+            let x = Var::constant(s.reshape(&shape));
+            no_grad(|| reference_model.forward(&x).value().index_axis(0, 0))
+        })
+        .collect();
+
+    let worker = ModelWorker::spawn("fcn", cpu_config(8, 20), || {
+        Ok(Box::new(SegmenterServe(fcn())) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+
+    // Fire all K requests at once so the scheduler actually has to
+    // batch and shape-partition them.
+    let barrier = Arc::new(Barrier::new(K));
+    let results: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = samples
+            .iter()
+            .map(|sample| {
+                let client = worker.client();
+                let barrier = Arc::clone(&barrier);
+                let sample = sample.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    client.predict(sample).expect("prediction succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (got, want)) in results.iter().zip(&expected).enumerate() {
+        assert_eq!(got.shape(), want.shape(), "request {i} shape");
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "request {i}: batched output must be byte-identical to a sequential forward"
+        );
+    }
+    worker.shutdown();
+}
+
+#[test]
+fn parallel_device_batches_match_cpu_sequential() {
+    const K: usize = 6;
+    let samples = ragged_samples(K);
+    let reference_model = fcn();
+    reference_model.set_training(false);
+    let expected: Vec<Tensor> = samples
+        .iter()
+        .map(|s| {
+            let mut shape = vec![1];
+            shape.extend_from_slice(s.shape());
+            let x = Var::constant(s.reshape(&shape));
+            no_grad(|| reference_model.forward(&x).value().index_axis(0, 0))
+        })
+        .collect();
+
+    let config = BatchConfig {
+        max_batch: 8,
+        max_wait_ms: 20,
+        device: Device::Parallel(4),
+    };
+    let worker = ModelWorker::spawn("fcn-par", config, || {
+        Ok(Box::new(SegmenterServe(fcn())) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+    let results: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = samples
+            .iter()
+            .map(|sample| {
+                let client = worker.client();
+                let sample = sample.clone();
+                scope.spawn(move || client.predict(sample).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (got, want) in results.iter().zip(&expected) {
+        assert!(
+            got.allclose(want, 1e-6),
+            "Device::Parallel serving must match serial evaluation"
+        );
+    }
+}
+
+/// A trivial model that logs every forward's batch size, for observing
+/// the scheduler's grouping decisions.
+struct Doubler {
+    log: Arc<Mutex<Vec<usize>>>,
+}
+
+impl Module for Doubler {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl ServeModel for Doubler {
+    fn predict(&self, batch: &Var) -> Var {
+        self.log
+            .lock()
+            .unwrap()
+            .push(batch.shape()[0]);
+        batch.mul_scalar(2.0)
+    }
+}
+
+#[test]
+fn max_wait_flushes_a_partial_batch() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log_clone = Arc::clone(&log);
+    // max_batch far larger than the traffic: only the timer can flush.
+    let worker = ModelWorker::spawn("doubler", cpu_config(64, 30), move || {
+        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+    let client = worker.client();
+    let start = Instant::now();
+    let out = client
+        .predict(Tensor::from_vec(vec![1.0, 2.0], &[2]))
+        .expect("single request must not hang");
+    let elapsed = start.elapsed();
+    assert_eq!(out.as_slice(), &[2.0, 4.0]);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "partial batch must flush at max_wait_ms, took {elapsed:?}"
+    );
+    assert_eq!(
+        log.lock().unwrap().as_slice(),
+        &[1],
+        "exactly one forward with batch size 1"
+    );
+    worker.shutdown();
+}
+
+#[test]
+fn concurrent_requests_get_stacked() {
+    const K: usize = 8;
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log_clone = Arc::clone(&log);
+    let worker = ModelWorker::spawn("doubler", cpu_config(K, 500), move || {
+        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+
+    let barrier = Arc::new(Barrier::new(K));
+    std::thread::scope(|scope| {
+        for i in 0..K {
+            let client = worker.client();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let out = client
+                    .predict(Tensor::from_vec(vec![i as f32], &[1]))
+                    .unwrap();
+                assert_eq!(out.as_slice(), &[2.0 * i as f32], "scatter order");
+            });
+        }
+    });
+    worker.shutdown();
+
+    let batches = log.lock().unwrap().clone();
+    assert_eq!(batches.iter().sum::<usize>(), K, "every request served once");
+    assert!(
+        batches.len() < K,
+        "near-simultaneous requests must share forwards, got batch sizes {batches:?}"
+    );
+    assert!(
+        batches.iter().all(|&b| b <= K),
+        "max_batch respected: {batches:?}"
+    );
+}
+
+#[test]
+fn max_batch_one_serves_every_request_alone() {
+    const K: usize = 5;
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log_clone = Arc::clone(&log);
+    let worker = ModelWorker::spawn("doubler", cpu_config(1, 50), move || {
+        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+    std::thread::scope(|scope| {
+        for i in 0..K {
+            let client = worker.client();
+            scope.spawn(move || {
+                client
+                    .predict(Tensor::from_vec(vec![i as f32], &[1]))
+                    .unwrap();
+            });
+        }
+    });
+    worker.shutdown();
+    let batches = log.lock().unwrap().clone();
+    assert_eq!(batches, vec![1; K], "max_batch=1 disables stacking");
+}
+
+#[test]
+fn init_failure_propagates_out_of_spawn() {
+    let result = ModelWorker::spawn("broken", cpu_config(4, 5), || {
+        Err(geotorch_serve::ServeError::ModelLoad("bad checkpoint".into()))
+    });
+    match result {
+        Err(geotorch_serve::ServeError::ModelLoad(_)) => {}
+        Err(other) => panic!("expected ModelLoad, got {other}"),
+        Ok(_) => panic!("init error must surface"),
+    }
+}
+
+#[test]
+fn forward_panic_becomes_an_error_and_worker_survives() {
+    struct Panicker;
+    impl Module for Panicker {
+        fn parameters(&self) -> Vec<Var> {
+            Vec::new()
+        }
+    }
+    impl ServeModel for Panicker {
+        fn predict(&self, batch: &Var) -> Var {
+            if batch.shape().contains(&13) {
+                panic!("unlucky shape");
+            }
+            batch.mul_scalar(1.0)
+        }
+    }
+    let worker = ModelWorker::spawn("panicker", cpu_config(1, 5), || {
+        Ok(Box::new(Panicker) as Box<dyn ServeModel>)
+    })
+    .expect("worker starts");
+    let client = worker.client();
+    let err = client
+        .predict(Tensor::zeros(&[13]))
+        .expect_err("panic must become an error");
+    assert!(matches!(err, geotorch_serve::ServeError::Internal(_)));
+    // The worker thread must still be alive to serve the next request.
+    let ok = client.predict(Tensor::from_vec(vec![5.0], &[1])).unwrap();
+    assert_eq!(ok.as_slice(), &[5.0]);
+    worker.shutdown();
+}

@@ -18,6 +18,8 @@
 //! * [`nn`], [`tensor`] — the deep-learning substrate (autograd, layers,
 //!   optimizers; dense tensors and kernels).
 //! * [`train`] — training loops, metrics, early stopping, checkpoints.
+//! * [`serve`] — batched inference serving: model registry, dynamic
+//!   micro-batching scheduler, HTTP front-end with a metrics endpoint.
 //! * [`dataframe`] — the Spark/Sedona-substrate columnar engine.
 //!
 //! ## Quickstart
@@ -140,6 +142,15 @@ pub mod train {
     pub use geotorch_core::metrics;
     pub use geotorch_core::trainer::grid_io;
     pub use geotorch_core::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};
+}
+
+/// Batched inference serving: registry, micro-batching scheduler, and
+/// the HTTP front-end (`/predict/<model>`, `/healthz`, `/metrics`).
+pub mod serve {
+    pub use geotorch_serve::{
+        BatchConfig, ClassifierServe, GridServe, ModelClient, ModelWorker, Registry,
+        SegmenterServe, ServeConfig, ServeError, ServeModel, Server,
+    };
 }
 
 /// Lightweight runtime counters and timers (off by default; flip on with
