@@ -1,0 +1,175 @@
+//! `alloc_bench` — A/B comparison of the pooled tensor allocator against
+//! the seed behaviour (exact-capacity fresh allocations, no recycling).
+//!
+//! ```sh
+//! cargo run --release -p geotorch-bench --bin alloc_bench -- [--quick]
+//! ```
+//!
+//! Two workloads, each run once with `pool::set_enabled(false)` (the
+//! pre-pool allocator) and once with the pool on:
+//!
+//! 1. **Training** — a full epoch of the §V-C classifier protocol;
+//!    reports seconds/epoch and samples/s.
+//! 2. **Serving** — a steady-state stream of no-grad batched forwards
+//!    (the work `geotorch-serve` executes per micro-batch); reports
+//!    per-forward p50/p95 latency.
+//!
+//! Writes the table to `results/alloc_bench.md` and exits non-zero if
+//! the pooled configuration loses on training throughput or serve p50.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+
+use geotorch_bench::{markdown_table, percentile};
+use geotorch_core::Trainer;
+use geotorch_datasets::{shuffled_split, RasterDataset};
+use geotorch_models::raster::SatCnn;
+use geotorch_models::RasterClassifier;
+use geotorch_nn::Var;
+use geotorch_tensor::{pool, Device, Tensor};
+
+struct TrainResult {
+    epoch_seconds: f64,
+    samples_per_sec: f64,
+    pool_misses: u64,
+}
+
+fn train_epochs(epochs: usize, pooled: bool) -> TrainResult {
+    pool::set_enabled(pooled);
+    pool::clear();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dataset = RasterDataset::classification("alloc-bench", 3, 24, 24, 4, 48, 0);
+    let model = SatCnn::new(3, 24, 24, 4, &mut rng);
+    let (train, val, _) = shuffled_split(dataset.len(), 0);
+    let mut config = geotorch_bench::paper_train_config(epochs, 0);
+    config.batch_size = 8;
+    config.early_stopping_patience = None;
+    config.device = Device::Cpu;
+    // One untimed epoch warms the pool (a no-op when disabled) so both
+    // configurations measure steady state.
+    let mut warm = config.clone();
+    warm.epochs = 1;
+    Trainer::new(warm).fit_classifier(&model, &dataset, &train, &val);
+    let before = pool::stats();
+    let report = Trainer::new(config).fit_classifier(&model, &dataset, &train, &val);
+    let misses = pool::stats().misses - before.misses;
+    TrainResult {
+        epoch_seconds: report.mean_epoch_seconds(),
+        samples_per_sec: report.mean_samples_per_sec(),
+        pool_misses: misses,
+    }
+}
+
+struct ServeResult {
+    p50_ms: f64,
+    p95_ms: f64,
+    forwards_per_sec: f64,
+    pool_misses: u64,
+}
+
+fn serve_forwards(rounds: usize, pooled: bool) -> ServeResult {
+    pool::set_enabled(pooled);
+    pool::clear();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let model = SatCnn::new(3, 32, 32, 10, &mut rng);
+    let batch = Tensor::rand_uniform(&[8, 3, 32, 32], -1.0, 1.0, &mut rng);
+    let forward = || {
+        geotorch_nn::no_grad(|| model.forward(&Var::constant(batch.clone()), None).value())
+    };
+    for _ in 0..4 {
+        let _ = forward();
+    }
+    let before = pool::stats();
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let sent = Instant::now();
+        let out = forward();
+        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(out.shape(), &[8, 10]);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let misses = pool::stats().misses - before.misses;
+    ServeResult {
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        forwards_per_sec: rounds as f64 / wall,
+        pool_misses: misses,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (epochs, rounds) = if quick { (1, 40) } else { (3, 200) };
+
+    eprintln!("alloc_bench: training {epochs} epoch(s) per configuration ...");
+    let train_seed = train_epochs(epochs, false);
+    let train_pool = train_epochs(epochs, true);
+    eprintln!("alloc_bench: {rounds} serve forwards per configuration ...");
+    let serve_seed = serve_forwards(rounds, false);
+    let serve_pool = serve_forwards(rounds, true);
+    // Leave the process-global pool in its default state.
+    pool::set_enabled(true);
+
+    let train_rows = vec![
+        vec![
+            "seed allocator".to_string(),
+            format!("{:.3}", train_seed.epoch_seconds),
+            format!("{:.1}", train_seed.samples_per_sec),
+            train_seed.pool_misses.to_string(),
+        ],
+        vec![
+            "pooled + in-place".to_string(),
+            format!("{:.3}", train_pool.epoch_seconds),
+            format!("{:.1}", train_pool.samples_per_sec),
+            train_pool.pool_misses.to_string(),
+        ],
+    ];
+    let serve_rows = vec![
+        vec![
+            "seed allocator".to_string(),
+            format!("{:.3}", serve_seed.p50_ms),
+            format!("{:.3}", serve_seed.p95_ms),
+            format!("{:.1}", serve_seed.forwards_per_sec),
+            serve_seed.pool_misses.to_string(),
+        ],
+        vec![
+            "pooled + in-place".to_string(),
+            format!("{:.3}", serve_pool.p50_ms),
+            format!("{:.3}", serve_pool.p95_ms),
+            format!("{:.1}", serve_pool.forwards_per_sec),
+            serve_pool.pool_misses.to_string(),
+        ],
+    ];
+    let speedup = train_pool.samples_per_sec / train_seed.samples_per_sec.max(1e-9);
+    let p50_ratio = serve_seed.p50_ms / serve_pool.p50_ms.max(1e-9);
+    let report = format!(
+        "## Pooled tensor storage vs seed allocator\n\n### Training ({epochs} epoch(s), SatCnn 24x24, batch 8)\n\n{}\n\n### Serving steady state ({rounds} no-grad forwards, batch 8, 32x32)\n\n{}\n\n_training speedup: {speedup:.2}x samples/s; serve p50 improvement: {p50_ratio:.2}x_\n",
+        markdown_table(
+            &["allocator", "s/epoch", "samples/s", "pool misses"],
+            &train_rows
+        ),
+        markdown_table(
+            &["allocator", "p50 ms", "p95 ms", "fwd/s", "pool misses"],
+            &serve_rows
+        ),
+    );
+    println!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/alloc_bench.md", &report).ok();
+
+    if train_pool.samples_per_sec <= train_seed.samples_per_sec
+        || serve_pool.p50_ms >= serve_seed.p50_ms
+    {
+        eprintln!(
+            "FAIL: pooled configuration must beat the seed allocator \
+             (train {:.1} vs {:.1} samples/s, serve p50 {:.3} vs {:.3} ms)",
+            train_pool.samples_per_sec,
+            train_seed.samples_per_sec,
+            serve_pool.p50_ms,
+            serve_seed.p50_ms
+        );
+        std::process::exit(1);
+    }
+}

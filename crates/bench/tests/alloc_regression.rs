@@ -1,0 +1,106 @@
+//! Allocation-regression gate for the pooled tensor storage: after a
+//! warm-up pass, a fixed training loop and a serve-style no-grad forward
+//! stream must run almost entirely out of recycled pool buffers. A jump
+//! in steady-state `alloc.pool_miss` means a hot path started allocating
+//! fresh buffers again — exactly the regression the pool exists to
+//! prevent.
+
+use geotorch_core::{Trainer, UpdateMode};
+use geotorch_datasets::shuffled_split;
+use geotorch_datasets::RasterDataset;
+use geotorch_models::raster::SatCnn;
+use geotorch_models::RasterClassifier;
+use geotorch_nn::Var;
+use geotorch_tensor::{pool, Device, Tensor};
+use rand::SeedableRng;
+
+/// Steady-state miss budget for one measured training epoch. The epoch
+/// performs thousands of pooled acquisitions; after warm-up nearly all
+/// of them must be recycled. The budget absorbs small wobbles (ragged
+/// batch shuffling, state-dict snapshots forcing a copy-on-write) but
+/// fails loudly if a kernel regresses to fresh allocation per call.
+const TRAIN_MISS_BUDGET: u64 = 64;
+
+/// Steady-state miss budget for 32 serve-style forwards. Warm-up runs
+/// the identical shapes, so the measured window should recycle every
+/// buffer; a tiny allowance covers scratch growth inside the worker
+/// pool's first parallel dispatches.
+const SERVE_MISS_BUDGET: u64 = 8;
+
+#[test]
+fn steady_state_training_runs_from_the_pool() {
+    pool::set_enabled(true);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dataset = RasterDataset::classification("alloc", 3, 16, 16, 3, 24, 0);
+    let model = SatCnn::new(3, 16, 16, 3, &mut rng);
+    let (train, val, _) = shuffled_split(dataset.len(), 0);
+
+    let mut config = geotorch_bench::paper_train_config(2, 0);
+    config.batch_size = 8;
+    config.early_stopping_patience = None;
+    config.update_mode = UpdateMode::Incremental;
+    config.device = Device::Cpu;
+
+    // Warm-up: two epochs populate every size class the loop touches.
+    Trainer::new(config.clone()).fit_classifier(&model, &dataset, &train, &val);
+
+    // Measured window: the same loop again, counting pool misses only.
+    let before = pool::stats();
+    Trainer::new(config).fit_classifier(&model, &dataset, &train, &val);
+    let after = pool::stats();
+
+    let misses = after.misses - before.misses;
+    let hits = after.hits - before.hits;
+    eprintln!("train steady state: {hits} pool hits, {misses} misses (budget {TRAIN_MISS_BUDGET})");
+    assert!(
+        misses <= TRAIN_MISS_BUDGET,
+        "steady-state training allocated fresh buffers {misses} times \
+         (budget {TRAIN_MISS_BUDGET}, hits {hits}) — a hot path stopped recycling"
+    );
+    // The budget only means something if the loop actually uses the pool.
+    assert!(
+        hits > 1000,
+        "expected thousands of pooled acquisitions per epoch, saw {hits}"
+    );
+}
+
+#[test]
+fn steady_state_serve_forwards_run_from_the_pool() {
+    pool::set_enabled(true);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let model = SatCnn::new(3, 16, 16, 4, &mut rng);
+    let batch = Tensor::rand_uniform(&[8, 3, 16, 16], -1.0, 1.0, &mut rng);
+
+    let forward = |input: &Tensor| {
+        geotorch_nn::no_grad(|| {
+            model
+                .forward(&Var::constant(input.clone()), None)
+                .value()
+        })
+    };
+
+    // Warm-up: identical shapes populate the shelves.
+    for _ in 0..4 {
+        let _ = forward(&batch);
+    }
+
+    let before = pool::stats();
+    for _ in 0..32 {
+        let out = forward(&batch);
+        assert_eq!(out.shape(), &[8, 4]);
+    }
+    let after = pool::stats();
+
+    let misses = after.misses - before.misses;
+    let hits = after.hits - before.hits;
+    eprintln!("serve steady state: {hits} pool hits, {misses} misses (budget {SERVE_MISS_BUDGET})");
+    assert!(
+        misses <= SERVE_MISS_BUDGET,
+        "steady-state serving allocated fresh buffers {misses} times \
+         (budget {SERVE_MISS_BUDGET}, hits {hits})"
+    );
+    assert!(
+        hits > 100,
+        "expected the forward stream to acquire from the pool, saw {hits} hits"
+    );
+}

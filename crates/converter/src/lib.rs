@@ -204,15 +204,15 @@ impl RowTransformer {
                 f_shape.extend_from_slice(&frame.feature_shape);
                 let mut l_shape = vec![b];
                 l_shape.extend_from_slice(&frame.label_shape);
-                let mut features = Tensor::from_vec(
-                    part.features[start * f_len..end * f_len].to_vec(),
-                    &f_shape,
-                );
+                // from_slice fills a pooled buffer, so steady-state batch
+                // staging recycles instead of growing the heap.
+                let mut features =
+                    Tensor::from_slice(&part.features[start * f_len..end * f_len], &f_shape);
                 if let Some(t) = &self.transform {
                     features = t(features);
                 }
                 let labels =
-                    Tensor::from_vec(part.labels[start * l_len..end * l_len].to_vec(), &l_shape);
+                    Tensor::from_slice(&part.labels[start * l_len..end * l_len], &l_shape);
                 out.push((features, labels));
                 start = end;
             }
@@ -248,12 +248,12 @@ impl RowTransformer {
             let mut l_shape = vec![b];
             l_shape.extend_from_slice(&frame.label_shape);
             let mut features =
-                Tensor::from_vec(part.features[start * f_len..end * f_len].to_vec(), &f_shape);
+                Tensor::from_slice(&part.features[start * f_len..end * f_len], &f_shape);
             if let Some(t) = &self.transform {
                 features = t(features);
             }
             let labels =
-                Tensor::from_vec(part.labels[start * l_len..end * l_len].to_vec(), &l_shape);
+                Tensor::from_slice(&part.labels[start * l_len..end * l_len], &l_shape);
             (features, labels)
         };
         geotorch_telemetry::count!("converter.batches_built", spans.len());

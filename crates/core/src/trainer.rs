@@ -203,6 +203,11 @@ impl Trainer {
                     batches += 1;
                     samples += batch_idx.len();
                     loss.backward();
+                    // Release the tape before stepping: graph nodes hold
+                    // clones of the parameter values, and while those are
+                    // alive the optimizer's in-place update has to
+                    // copy-on-write every parameter buffer.
+                    drop(loss);
                     if self.config.update_mode == UpdateMode::Incremental {
                         self.clip_and_step(&mut optimizer);
                     }
@@ -705,12 +710,12 @@ mod tests {
     fn scale_grads_averages_accumulated_sum() {
         let p = Var::parameter(Tensor::from_vec(vec![1.0, 2.0], &[2]));
         p.seed_grad(Tensor::from_vec(vec![4.0, -8.0], &[2]));
-        scale_grads(&[p.clone()], 0.25);
+        scale_grads(std::slice::from_ref(&p), 0.25);
         let g = p.grad().expect("gradient survives scaling");
         assert_eq!(g.as_slice(), &[1.0, -2.0]);
         // Parameters without a gradient are left untouched.
         let q = Var::parameter(Tensor::zeros(&[2]));
-        scale_grads(&[q.clone()], 0.5);
+        scale_grads(std::slice::from_ref(&q), 0.5);
         assert!(q.grad().is_none());
     }
 

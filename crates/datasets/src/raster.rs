@@ -383,7 +383,7 @@ mod tests {
     #[test]
     fn labels_are_balanced_and_interleaved() {
         let ds = RasterDataset::sat6(4, 1);
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for i in 0..ds.len() {
             counts[ds.label(i)] += 1;
         }

@@ -205,7 +205,7 @@ mod tests {
         let class = 1;
         let sig = g.class_signature(class);
         // Average over instances to wash out texture.
-        let mut means = vec![0.0f32; 4];
+        let mut means = [0.0f32; 4];
         let n = 20;
         for s in 0..n {
             let img = g.classification_image(class, s);

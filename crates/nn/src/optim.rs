@@ -49,19 +49,23 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self) {
         let _t = geotorch_telemetry::scope!("nn.optim.step");
+        let (lr, momentum) = (self.lr, self.momentum);
         for (param, vel) in self.params.iter().zip(&mut self.velocity) {
             let Some(grad) = param.grad() else { continue };
-            let update = if self.momentum > 0.0 {
-                let v = match vel.take() {
-                    Some(v) => v.mul_scalar(self.momentum).add(&grad),
-                    None => grad,
-                };
-                *vel = Some(v.clone());
-                v
+            // In-place update chain: the velocity buffer is owned by the
+            // optimizer (uniquely held) and the parameter buffer is
+            // unique once the loss graph has been dropped, so steady
+            // state runs without allocating. Elementwise the arithmetic
+            // matches the out-of-place formulation exactly:
+            // v ← momentum·v + g;  p ← p − lr·v.
+            if momentum > 0.0 {
+                let v = vel.get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                v.scale_(momentum);
+                v.add_(&grad);
+                param.update_value(|p| p.add_scaled_(v, -lr));
             } else {
-                grad
-            };
-            param.assign(param.value().sub(&update.mul_scalar(self.lr)));
+                param.update_value(|p| p.add_scaled_(&grad, -lr));
+            }
         }
     }
 
@@ -124,24 +128,34 @@ impl Optimizer for Adam {
     fn step(&mut self) {
         let _t = geotorch_telemetry::scope!("nn.optim.step");
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let inv_bc1 = 1.0 / (1.0 - beta1.powi(self.t as i32));
+        let inv_bc2 = 1.0 / (1.0 - beta2.powi(self.t as i32));
         for ((param, m_slot), v_slot) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
             let Some(grad) = param.grad() else { continue };
-            let m_prev = m_slot.take().unwrap_or_else(|| Tensor::zeros(grad.shape()));
-            let v_prev = v_slot.take().unwrap_or_else(|| Tensor::zeros(grad.shape()));
-            let m = m_prev
-                .mul_scalar(self.beta1)
-                .add(&grad.mul_scalar(1.0 - self.beta1));
-            let v = v_prev
-                .mul_scalar(self.beta2)
-                .add(&grad.square().mul_scalar(1.0 - self.beta2));
-            let m_hat = m.mul_scalar(1.0 / bc1);
-            let v_hat = v.mul_scalar(1.0 / bc2);
-            let update = m_hat.div(&v_hat.sqrt().add_scalar(self.eps));
-            param.assign(param.value().sub(&update.mul_scalar(self.lr)));
-            *m_slot = Some(m);
-            *v_slot = Some(v);
+            let gs = grad.as_slice();
+            // Fused in-place moment and parameter updates: the moment
+            // buffers belong to the optimizer (always unique) and the
+            // parameter buffer is unique once the loss graph is gone.
+            // Elementwise arithmetic is unchanged from the out-of-place
+            // version: m ← β₁m + (1−β₁)g; v ← β₂v + (1−β₂)g²;
+            // p ← p − lr·(m/bc₁)/(√(v/bc₂) + ε).
+            let m = m_slot.get_or_insert_with(|| Tensor::zeros(grad.shape()));
+            for (m_i, &g) in m.as_mut_slice().iter_mut().zip(gs) {
+                *m_i = beta1 * *m_i + (1.0 - beta1) * g;
+            }
+            let v = v_slot.get_or_insert_with(|| Tensor::zeros(grad.shape()));
+            for (v_i, &g) in v.as_mut_slice().iter_mut().zip(gs) {
+                *v_i = beta2 * *v_i + (g * g) * (1.0 - beta2);
+            }
+            let (ms, vs) = (m.as_slice(), v.as_slice());
+            param.update_value(|p| {
+                for ((p_i, &m_i), &v_i) in p.as_mut_slice().iter_mut().zip(ms).zip(vs) {
+                    let m_hat = m_i * inv_bc1;
+                    let v_hat = v_i * inv_bc2;
+                    *p_i -= (m_hat / (v_hat.sqrt() + eps)) * lr;
+                }
+            });
         }
     }
 
@@ -223,6 +237,44 @@ mod tests {
         }
         assert!((w.value().item() - 2.0).abs() < 0.05);
         assert!((b.value().item() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fused_steps_match_reference_formulas() {
+        // SGD with momentum against the textbook out-of-place update.
+        let p = Var::parameter(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.9);
+        let mut p_ref = p.value();
+        let mut v_ref = Tensor::zeros(&[3]);
+        for _ in 0..3 {
+            opt.zero_grad();
+            p.square().sum_all().backward();
+            let grad = p.grad().unwrap();
+            v_ref = v_ref.mul_scalar(0.9).add(&grad);
+            p_ref = p_ref.sub(&v_ref.mul_scalar(0.1));
+            opt.step();
+            assert_eq!(p.value(), p_ref, "fused SGD must be bit-identical");
+        }
+
+        // Adam against the textbook update with bias correction.
+        let q = Var::parameter(Tensor::from_vec(vec![0.3, -1.1], &[2]));
+        let mut adam = Adam::new(vec![q.clone()], 0.05);
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let mut m = Tensor::zeros(&[2]);
+        let mut v = Tensor::zeros(&[2]);
+        let mut q_ref = q.value();
+        for t in 1..=3 {
+            adam.zero_grad();
+            q.square().sum_all().backward();
+            let g = q.grad().unwrap();
+            m = m.mul_scalar(b1).add(&g.mul_scalar(1.0 - b1));
+            v = v.mul_scalar(b2).add(&g.square().mul_scalar(1.0 - b2));
+            let m_hat = m.mul_scalar(1.0 / (1.0 - b1.powi(t)));
+            let v_hat = v.mul_scalar(1.0 / (1.0 - b2.powi(t)));
+            q_ref = q_ref.sub(&m_hat.div(&v_hat.sqrt().add_scalar(eps)).mul_scalar(0.05));
+            adam.step();
+            assert_eq!(q.value(), q_ref, "fused Adam must be bit-identical");
+        }
     }
 
     #[test]

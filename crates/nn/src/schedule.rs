@@ -140,7 +140,7 @@ mod tests {
         let p = Var::parameter(Tensor::from_vec(vec![1.0, 1.0], &[2]));
         p.mul_scalar(3.0).sum_all().backward();
         // grad = [3, 3], norm = sqrt(18) ≈ 4.24
-        let norm = clip_grad_norm(&[p.clone()], 1.0);
+        let norm = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((norm - 18.0f32.sqrt()).abs() < 1e-4);
         let clipped = p.grad().unwrap();
         let new_norm: f32 = clipped.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -152,7 +152,7 @@ mod tests {
         let p = Var::parameter(Tensor::scalar(1.0));
         p.mul_scalar(0.5).sum_all().backward();
         let before = p.grad().unwrap();
-        clip_grad_norm(&[p.clone()], 10.0);
+        clip_grad_norm(std::slice::from_ref(&p), 10.0);
         assert_eq!(p.grad().unwrap(), before);
     }
 

@@ -143,6 +143,26 @@ impl Var {
         inner.value = value;
     }
 
+    /// Mutate the value through `f` without going through a fresh tensor
+    /// (the in-place optimiser path; does not touch the tape). When the
+    /// value's storage is uniquely held — no live tape closure or caller
+    /// clone — `f`'s in-place tensor ops mutate the buffer directly;
+    /// shared storage copy-on-writes, so results are always identical to
+    /// [`Var::assign`] with a freshly built tensor.
+    ///
+    /// # Panics
+    /// If `f` changes the value's shape.
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        let mut inner = self.inner.borrow_mut();
+        let shape = inner.value.shape().to_vec();
+        f(&mut inner.value);
+        assert_eq!(
+            inner.value.shape(),
+            &shape[..],
+            "Var::update_value must preserve shape"
+        );
+    }
+
     /// A new constant leaf sharing this node's current value — gradients do
     /// not flow through.
     pub fn detach(&self) -> Var {

@@ -86,8 +86,8 @@ proptest! {
         prop_assert!(n.iter().all(|&v| (0.0..=1.0).contains(&v)));
         let distinct = data.iter().any(|&v| (v - data[0]).abs() > 1e-6);
         if distinct {
-            prop_assert!(n.iter().any(|&v| v == 0.0));
-            prop_assert!(n.iter().any(|&v| v == 1.0));
+            prop_assert!(n.contains(&0.0));
+            prop_assert!(n.contains(&1.0));
         }
     }
 

@@ -144,6 +144,14 @@ fn train_checkpoint_serve_roundtrip() {
         "serve.queue_wait",
         "serve.http.requests",
         "serve.model.satcnn",
+        // Tensor-allocator gauges ride along in every snapshot, so an
+        // operator can watch pool behaviour straight from /metrics.
+        "alloc.pool_hit",
+        "alloc.pool_miss",
+        "alloc.bytes",
+        "alloc.bytes_in_use",
+        "alloc.high_water_bytes",
+        "alloc.pooled_bytes",
     ] {
         assert!(names.contains(&key), "missing {key} in {names:?}");
     }

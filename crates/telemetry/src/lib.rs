@@ -138,6 +138,33 @@ pub fn register_dynamic(name: String) -> &'static Stat {
     register(Box::leak(name.into_boxed_str()))
 }
 
+/// A gauge provider: polled at snapshot time.
+type GaugeFn = fn() -> u64;
+
+fn gauges() -> &'static Mutex<Vec<(&'static str, GaugeFn)>> {
+    static GAUGES: OnceLock<Mutex<Vec<(&'static str, GaugeFn)>>> = OnceLock::new();
+    GAUGES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a *gauge*: a named value polled at snapshot time instead of
+/// accumulated through [`count!`]. Gauges let subsystems with their own
+/// always-on counters (e.g. the tensor buffer pool) surface state in
+/// every snapshot — including serve's `/metrics` and `repro --profile`
+/// — without double bookkeeping. The value lands in the snapshot's
+/// `count` field with zero `calls`/timing.
+///
+/// Gauges are owned by their provider: [`reset`] does not touch them
+/// (diff two snapshots to measure an interval). Re-registering a name
+/// replaces the previous provider.
+pub fn register_gauge(name: &'static str, read: fn() -> u64) {
+    let mut gauges = gauges().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = gauges.iter_mut().find(|(n, _)| *n == name) {
+        slot.1 = read;
+    } else {
+        gauges.push((name, read));
+    }
+}
+
 thread_local! {
     /// Nanoseconds spent in already-closed child scopes of the innermost
     /// open scope on this thread. Lets a parent subtract child time and
@@ -232,7 +259,9 @@ impl StatSnapshot {
 }
 
 /// Snapshot every registered stat, merged by name, sorted by descending
-/// self-time then name. Stats that never recorded anything are skipped.
+/// self-time then name. Stats that never recorded anything are skipped;
+/// gauges ([`register_gauge`]) are always reported, even at zero, so
+/// their presence in `/metrics` does not depend on traffic.
 pub fn snapshot() -> Vec<StatSnapshot> {
     let mut merged: std::collections::BTreeMap<&'static str, StatSnapshot> =
         std::collections::BTreeMap::new();
@@ -253,11 +282,25 @@ pub fn snapshot() -> Vec<StatSnapshot> {
         .into_values()
         .filter(|s| s.calls > 0 || s.count > 0)
         .collect();
+    for (name, read) in gauges().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        let value = read();
+        match out.iter_mut().find(|s| s.name == *name) {
+            Some(existing) => existing.count += value,
+            None => out.push(StatSnapshot {
+                name: name.to_string(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+                count: value,
+            }),
+        }
+    }
     out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
     out
 }
 
-/// Zero every stat (registrations are kept).
+/// Zero every stat (registrations are kept). Gauges are *not* reset —
+/// they mirror live state owned by their provider.
 pub fn reset() {
     for stat in registry().lock().unwrap_or_else(|e| e.into_inner()).iter() {
         stat.reset();
@@ -482,6 +525,31 @@ mod tests {
         assert!(md.starts_with("| stat |"));
         assert!(md.contains("test.md_count"));
         reset();
+    }
+
+    #[test]
+    fn gauges_appear_in_snapshots_and_survive_reset() {
+        let _g = serial();
+        reset();
+        static GAUGE_VALUE: AtomicU64 = AtomicU64::new(41);
+        register_gauge("test.gauge", || GAUGE_VALUE.load(Ordering::Relaxed));
+        let snap = find("test.gauge").expect("gauge reported even while disabled");
+        assert_eq!(snap.count, 41);
+        assert_eq!(snap.calls, 0);
+        GAUGE_VALUE.store(42, Ordering::Relaxed);
+        reset();
+        assert_eq!(find("test.gauge").unwrap().count, 42, "reset leaves gauges alone");
+        assert!(snapshot_json().contains("\"name\":\"test.gauge\""));
+        // Re-registering replaces the provider instead of duplicating.
+        register_gauge("test.gauge", || 7);
+        let snaps: Vec<_> = snapshot()
+            .into_iter()
+            .filter(|s| s.name == "test.gauge")
+            .collect();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].count, 7);
+        register_gauge("test.gauge", || 0);
+        assert!(find("test.gauge").is_some(), "zero-valued gauges still listed");
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //!
 //! ## Design notes
 //!
-//! * Tensors are always **contiguous** in row-major order. Shape-changing
+//! * Tensors are always **contiguous** in row-major order. Axis-reordering
 //!   views (`transpose`, `permute`) materialise a new buffer; this keeps
 //!   every kernel simple and cache-friendly at the cost of some copies.
-//! * Storage is `Arc<Vec<f32>>` with copy-on-write: cloning a tensor is
-//!   O(1), and in-place ops copy only when the buffer is shared.
+//!   Pure re-labelings (`reshape`, `squeeze`, `unsqueeze`, `flatten`) are
+//!   zero-copy metadata moves sharing the storage `Arc`.
+//! * Storage is an `Arc`-shared, pooled [`pool::Buffer`] with
+//!   copy-on-write: cloning a tensor is O(1), in-place ops mutate
+//!   directly when the buffer is uniquely held and copy otherwise, and
+//!   freed buffers are recycled through a size-class [`pool`] (the
+//!   caching-allocator analogue) so hot loops stay off the heap.
 //! * The execution backend is selected through [`Device`]: `Device::Cpu`
 //!   runs kernels on the calling thread, `Device::parallel()` fans heavy
 //!   kernels (matmul, conv, pooling, reductions, softmax, large elementwise
@@ -42,6 +47,7 @@
 
 pub mod device;
 pub mod ops;
+pub mod pool;
 mod tensor;
 
 pub use device::{parallel_map, with_device, worker_pool_size, Device, PARALLEL_THRESHOLD};

@@ -39,42 +39,48 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
 
 /// Apply `f` elementwise over broadcast inputs, producing a tensor of the
 /// broadcast shape. Fast paths cover equal shapes and scalar operands.
+/// Output buffers come from the size-class pool; every element is
+/// written, so stale recycled contents never escape.
 pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     let _t = geotorch_telemetry::scope!("tensor.elementwise");
     let out_shape = broadcast_shape(a.shape(), b.shape());
     // Fast path: identical shapes.
     if a.shape() == b.shape() {
-        let data = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let mut data = crate::pool::alloc_uninit(a.len());
+        for ((d, &x), &y) in data.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+            *d = f(x, y);
+        }
         return Tensor::from_vec(data, &out_shape);
     }
     // Fast path: one operand is a single element and the other already has
     // the broadcast shape.
     if b.len() == 1 && a.shape() == out_shape {
         let y = b.as_slice()[0];
-        let data = a.as_slice().iter().map(|&x| f(x, y)).collect();
+        let mut data = crate::pool::alloc_uninit(a.len());
+        for (d, &x) in data.iter_mut().zip(a.as_slice()) {
+            *d = f(x, y);
+        }
         return Tensor::from_vec(data, &out_shape);
     }
     if a.len() == 1 && b.shape() == out_shape {
         let x = a.as_slice()[0];
-        let data = b.as_slice().iter().map(|&y| f(x, y)).collect();
+        let mut data = crate::pool::alloc_uninit(b.len());
+        for (d, &y) in data.iter_mut().zip(b.as_slice()) {
+            *d = f(x, y);
+        }
         return Tensor::from_vec(data, &out_shape);
     }
 
     let sa = broadcast_strides(a.shape(), &out_shape);
     let sb = broadcast_strides(b.shape(), &out_shape);
     let total = crate::numel(&out_shape);
-    let mut data = Vec::with_capacity(total);
+    let mut data = crate::pool::alloc_uninit(total);
     let mut index = vec![0usize; out_shape.len()];
     let (pa, pb) = (a.as_slice(), b.as_slice());
     let mut off_a = 0usize;
     let mut off_b = 0usize;
-    for _ in 0..total {
-        data.push(f(pa[off_a], pb[off_b]));
+    for slot in data.iter_mut() {
+        *slot = f(pa[off_a], pb[off_b]);
         // Odometer increment with incremental offset updates.
         for ax in (0..out_shape.len()).rev() {
             index[ax] += 1;
@@ -89,6 +95,64 @@ pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Ten
         }
     }
     Tensor::from_vec(data, &out_shape)
+}
+
+/// In-place variant of [`zip_broadcast`]: `dst[i] = f(dst[i], src[...])`,
+/// broadcasting `src` against `dst`. Requires the broadcast shape to
+/// equal `dst`'s shape (i.e. `src` must not enlarge `dst`). Mutates
+/// `dst`'s buffer directly when it is uniquely held; a shared buffer is
+/// copied first (copy-on-write), so results never differ from the
+/// out-of-place op — only the allocation behaviour does.
+///
+/// # Panics
+/// If broadcasting `src` against `dst` would change `dst`'s shape.
+pub fn zip_broadcast_inplace(dst: &mut Tensor, src: &Tensor, f: impl Fn(f32, f32) -> f32) {
+    let _t = geotorch_telemetry::scope!("tensor.elementwise");
+    let out_shape = broadcast_shape(dst.shape(), src.shape());
+    assert_eq!(
+        out_shape,
+        dst.shape(),
+        "in-place op: operand of shape {:?} would broadcast {:?} to {:?}",
+        src.shape(),
+        dst.shape(),
+        out_shape
+    );
+    // Fast path: identical shapes.
+    if dst.shape() == src.shape() {
+        // If dst and src share storage, as_mut_slice copy-on-writes dst,
+        // so src still reads the pre-op values — same as out-of-place.
+        let ps = src.as_slice();
+        let pd = dst.as_mut_slice();
+        for (d, &y) in pd.iter_mut().zip(ps) {
+            *d = f(*d, y);
+        }
+        return;
+    }
+    // Fast path: scalar src.
+    if src.len() == 1 {
+        let y = src.as_slice()[0];
+        for d in dst.as_mut_slice() {
+            *d = f(*d, y);
+        }
+        return;
+    }
+    let ss = broadcast_strides(src.shape(), &out_shape);
+    let ps = src.as_slice();
+    let mut index = vec![0usize; out_shape.len()];
+    let mut off_s = 0usize;
+    let pd = dst.as_mut_slice();
+    for d in pd.iter_mut() {
+        *d = f(*d, ps[off_s]);
+        for ax in (0..out_shape.len()).rev() {
+            index[ax] += 1;
+            off_s += ss[ax];
+            if index[ax] < out_shape[ax] {
+                break;
+            }
+            off_s -= ss[ax] * out_shape[ax];
+            index[ax] = 0;
+        }
+    }
 }
 
 /// Reduce `grad` (shaped like the broadcast output) back to `shape` by

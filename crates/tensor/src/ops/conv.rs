@@ -35,7 +35,7 @@ pub fn im2col(img: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> 
     let oh = conv_out_len(img.shape()[1], kh, stride, pad);
     let ow = conv_out_len(img.shape()[2], kw, stride, pad);
     let src = padded.as_slice();
-    let mut out = vec![0.0f32; c * kh * kw * oh * ow];
+    let mut out = crate::pool::alloc_uninit(c * kh * kw * oh * ow);
     let cols = oh * ow;
     for ch in 0..c {
         for ki in 0..kh {
@@ -77,7 +77,7 @@ pub fn col2im(
         "col2im column shape mismatch"
     );
     let (ph, pw) = (h + 2 * pad, w + 2 * pad);
-    let mut padded = vec![0.0f32; c * ph * pw];
+    let mut padded = crate::pool::alloc_zeroed(c * ph * pw);
     let src = col.as_slice();
     let cols = oh * ow;
     for ch in 0..c {
@@ -131,7 +131,7 @@ pub fn conv2d(
     let oh = conv_out_len(h, kh, stride, pad);
     let ow = conv_out_len(w, kw, stride, pad);
     let w_mat = weight.reshape(&[o, c * kh * kw]);
-    let mut out = vec![0.0f32; b * o * oh * ow];
+    let mut out = crate::pool::alloc_uninit(b * o * oh * ow);
     let per_img = o * oh * ow;
     let out_ptr = SendPtr(out.as_mut_ptr());
     parallel_for(b, |bi| {
@@ -181,7 +181,7 @@ pub fn conv2d_naive(
     let (ph, pw) = (h + 2 * pad, w + 2 * pad);
     let x = padded.as_slice();
     let wt = weight.as_slice();
-    let mut out = vec![0.0f32; b * o * oh * ow];
+    let mut out = crate::pool::alloc_uninit(b * o * oh * ow);
     for bi in 0..b {
         for oc in 0..o {
             for oi in 0..oh {
@@ -242,7 +242,7 @@ pub fn conv_transpose2d(
     let final_h = out_h - 2 * pad;
     let final_w = out_w - 2 * pad;
     let per_img = o * final_h * final_w;
-    let mut out = vec![0.0f32; b * per_img];
+    let mut out = crate::pool::alloc_uninit(b * per_img);
     let out_ptr = SendPtr(out.as_mut_ptr());
     parallel_for(b, |bi| {
         let x_mat = input.index_axis(0, bi).reshape(&[c, h * w]);
@@ -287,7 +287,7 @@ pub fn upsample_nearest2d(input: &Tensor, factor: usize) -> Tensor {
     );
     let (oh, ow) = (h * factor, w * factor);
     let src = input.as_slice();
-    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut out = crate::pool::alloc_uninit(b * c * oh * ow);
     for bc in 0..b * c {
         for i in 0..oh {
             let si = i / factor;
@@ -314,7 +314,7 @@ pub fn upsample_nearest2d_backward(grad: &Tensor, factor: usize) -> Tensor {
     );
     let (h, w) = (oh / factor, ow / factor);
     let src = grad.as_slice();
-    let mut out = vec![0.0f32; b * c * h * w];
+    let mut out = crate::pool::alloc_zeroed(b * c * h * w);
     for bc in 0..b * c {
         for i in 0..oh {
             let si = i / factor;

@@ -1,14 +1,14 @@
 //! Elementwise arithmetic, comparison, and math functions.
 
 use crate::device::{parallel_chunks_mut, PARALLEL_THRESHOLD};
-use crate::ops::broadcast::zip_broadcast;
+use crate::ops::broadcast::{zip_broadcast, zip_broadcast_inplace};
 use crate::Tensor;
 
 impl Tensor {
     /// Apply `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let _t = geotorch_telemetry::scope!("tensor.map");
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = crate::pool::alloc_uninit(self.len());
         let src = self.as_slice();
         parallel_chunks_mut(&mut out, PARALLEL_THRESHOLD, |offset, chunk| {
             for (i, v) in chunk.iter_mut().enumerate() {
@@ -144,11 +144,64 @@ impl Tensor {
             other.shape(),
             "add_assign requires matching shapes"
         );
-        let src = other.as_slice().to_vec();
+        // No staging copy: even when self and other share storage,
+        // as_mut_slice copy-on-writes self first, so other still reads
+        // the pre-op values.
+        let src = other.as_slice();
         let dst = self.as_mut_slice();
-        for (d, s) in dst.iter_mut().zip(src) {
+        for (d, &s) in dst.iter_mut().zip(src) {
             *d += s;
         }
+    }
+
+    // ------------------------------------------------------- in-place ops
+    //
+    // The `_`-suffixed ops mutate `self`'s buffer directly when it is the
+    // only handle to its storage and fall back to copy-on-write when it
+    // is shared, so they always produce exactly the same values as their
+    // out-of-place counterparts — only the allocation behaviour differs.
+    // The operand may broadcast against `self` as long as the result
+    // keeps `self`'s shape.
+
+    /// In-place elementwise addition: `self += other` (broadcasting).
+    pub fn add_(&mut self, other: &Tensor) {
+        zip_broadcast_inplace(self, other, |a, b| a + b);
+    }
+
+    /// In-place elementwise subtraction: `self -= other` (broadcasting).
+    pub fn sub_(&mut self, other: &Tensor) {
+        zip_broadcast_inplace(self, other, |a, b| a - b);
+    }
+
+    /// In-place elementwise multiplication: `self *= other` (broadcasting).
+    pub fn mul_(&mut self, other: &Tensor) {
+        zip_broadcast_inplace(self, other, |a, b| a * b);
+    }
+
+    /// In-place scalar multiplication: `self *= s`.
+    pub fn scale_(&mut self, s: f32) {
+        self.map_inplace(|v| v * s);
+    }
+
+    /// In-place axpy: `self += alpha * other` (broadcasting). The fused
+    /// update behind the in-place optimiser steps.
+    pub fn add_scaled_(&mut self, other: &Tensor, alpha: f32) {
+        zip_broadcast_inplace(self, other, |a, b| a + alpha * b);
+    }
+
+    /// In-place rectified linear unit.
+    pub fn relu_(&mut self) {
+        self.map_inplace(|v| v.max(0.0));
+    }
+
+    /// In-place logistic sigmoid (numerically stable on both tails).
+    pub fn sigmoid_(&mut self) {
+        self.map_inplace(stable_sigmoid);
+    }
+
+    /// In-place hyperbolic tangent.
+    pub fn tanh_(&mut self) {
+        self.map_inplace(f32::tanh);
     }
 }
 
@@ -227,6 +280,66 @@ mod tests {
         let mut a = Tensor::ones(&[3]);
         a.add_assign(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
         assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn inplace_ops_match_out_of_place() {
+        let base = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -3.0], &[2, 2]);
+        let other = Tensor::from_vec(vec![0.5, -1.5], &[2]);
+
+        let mut t = base.clone();
+        t.add_(&other);
+        assert_eq!(t, base.add(&other));
+
+        let mut t = base.clone();
+        t.sub_(&other);
+        assert_eq!(t, base.sub(&other));
+
+        let mut t = base.clone();
+        t.mul_(&other);
+        assert_eq!(t, base.mul(&other));
+
+        let mut t = base.clone();
+        t.scale_(-2.5);
+        assert_eq!(t, base.mul_scalar(-2.5));
+
+        let mut t = base.clone();
+        t.add_scaled_(&other, 0.75);
+        assert_eq!(t, base.add(&other.mul_scalar(0.75)));
+
+        let mut t = base.clone();
+        t.relu_();
+        assert_eq!(t, base.relu());
+
+        let mut t = base.clone();
+        t.sigmoid_();
+        assert_eq!(t, base.sigmoid());
+
+        let mut t = base.clone();
+        t.tanh_();
+        assert_eq!(t, base.tanh());
+    }
+
+    #[test]
+    fn inplace_on_shared_storage_copy_on_writes() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut b = a.clone();
+        b.add_(&a);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0], "original untouched");
+        assert_eq!(b.as_slice(), &[2.0, 4.0, 6.0]);
+        // Unique storage mutates without reallocating the Arc.
+        let mut c = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        assert!(c.storage_unique());
+        c.scale_(3.0);
+        assert!(c.storage_unique());
+        assert_eq!(c.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-place op")]
+    fn inplace_rejects_enlarging_broadcast() {
+        let mut small = Tensor::ones(&[1, 3]);
+        small.add_(&Tensor::ones(&[2, 3]));
     }
 
     #[test]

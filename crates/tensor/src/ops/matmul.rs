@@ -26,7 +26,9 @@ impl Tensor {
         );
         let a = self.as_slice();
         let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
+        // The kernel accumulates (and skips zero lhs entries), so the
+        // output must start zeroed.
+        let mut out = crate::pool::alloc_zeroed(m * n);
         // Split output rows into bands; each band is an independent task.
         let band = 16usize.max(if m > 0 { m.div_ceil(64) } else { 1 });
         let bands = m.div_ceil(band.max(1)).max(1);
@@ -71,7 +73,7 @@ impl Tensor {
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let n = b.shape()[1];
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::pool::alloc_uninit(m * n);
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0;

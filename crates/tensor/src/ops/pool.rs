@@ -23,7 +23,7 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
     let oh = conv_out_len(h, kernel, stride, 0);
     let ow = conv_out_len(w, kernel, stride, 0);
     let src = input.as_slice();
-    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut out = crate::pool::alloc_uninit(b * c * oh * ow);
     let mut argmax = vec![0usize; b * c * oh * ow];
     let out_ptr = SendPtr(out.as_mut_ptr());
     let arg_ptr = SendPtr(argmax.as_mut_ptr());
@@ -56,7 +56,7 @@ pub fn maxpool2d(input: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<u
         }
     };
     if input.len() >= PARALLEL_THRESHOLD {
-        parallel_for(b * c, &plane);
+        parallel_for(b * c, plane);
     } else {
         (0..b * c).for_each(plane);
     }
@@ -68,11 +68,11 @@ pub fn maxpool2d_backward(grad: &Tensor, argmax: &[usize], input_shape: &[usize]
     let _t = geotorch_telemetry::scope!("tensor.maxpool2d_bwd");
     assert_eq!(grad.len(), argmax.len(), "maxpool backward length mismatch");
     let numel = crate::numel(input_shape);
-    let mut out = vec![0.0f32; numel];
+    let mut out = crate::pool::alloc_zeroed(numel);
     let g = grad.as_slice();
     let planes = input_shape[0] * input_shape[1];
     let plane_out = grad.len() / planes.max(1);
-    if numel >= PARALLEL_THRESHOLD && planes > 1 && grad.len() % planes == 0 {
+    if numel >= PARALLEL_THRESHOLD && planes > 1 && grad.len().is_multiple_of(planes) {
         // Argmax indices always point inside their own `bc` image plane, so
         // scattering plane-by-plane writes disjoint regions of `out`.
         let out_ptr = SendPtr(out.as_mut_ptr());
@@ -112,7 +112,7 @@ pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
     let ow = conv_out_len(w, kernel, stride, 0);
     let inv = 1.0 / (kernel * kernel) as f32;
     let src = input.as_slice();
-    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut out = crate::pool::alloc_uninit(b * c * oh * ow);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let plane = move |bc: usize| {
         let out_ptr = out_ptr;
@@ -132,7 +132,7 @@ pub fn avgpool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
         }
     };
     if input.len() >= PARALLEL_THRESHOLD {
-        parallel_for(b * c, &plane);
+        parallel_for(b * c, plane);
     } else {
         (0..b * c).for_each(plane);
     }
@@ -156,7 +156,7 @@ pub fn avgpool2d_backward(
     let (oh, ow) = (grad.shape()[2], grad.shape()[3]);
     let inv = 1.0 / (kernel * kernel) as f32;
     let g = grad.as_slice();
-    let mut out = vec![0.0f32; b * c * h * w];
+    let mut out = crate::pool::alloc_zeroed(b * c * h * w);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let plane = move |bc: usize| {
         let out_ptr = out_ptr;
@@ -176,7 +176,7 @@ pub fn avgpool2d_backward(
         }
     };
     if out.len() >= PARALLEL_THRESHOLD {
-        parallel_for(b * c, &plane);
+        parallel_for(b * c, plane);
     } else {
         (0..b * c).for_each(plane);
     }
@@ -195,7 +195,7 @@ pub fn global_avgpool2d(input: &Tensor) -> Tensor {
     );
     let inv = 1.0 / (h * w) as f32;
     let src = input.as_slice();
-    let mut out = vec![0.0f32; b * c];
+    let mut out = crate::pool::alloc_uninit(b * c);
     if input.len() >= PARALLEL_THRESHOLD {
         let out_ptr = SendPtr(out.as_mut_ptr());
         parallel_for(b * c, move |bc| {

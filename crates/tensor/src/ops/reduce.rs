@@ -198,7 +198,7 @@ impl Tensor {
         let n = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
         let data = self.as_slice();
-        let mut out = vec![init; outer * inner];
+        let mut out = crate::pool::alloc_filled(outer * inner, init);
         let out_ptr = SendPtr(out.as_mut_ptr());
         let f = &f;
         let reduce_outer = move |o: usize| {
@@ -217,7 +217,7 @@ impl Tensor {
             }
         };
         if data.len() >= PARALLEL_THRESHOLD && outer > 1 {
-            parallel_for(outer, &reduce_outer);
+            parallel_for(outer, reduce_outer);
         } else {
             (0..outer).for_each(reduce_outer);
         }

@@ -4,6 +4,9 @@ use crate::{numel, strides_for, Tensor};
 
 impl Tensor {
     /// Reinterpret the buffer with a new shape (same element count).
+    /// Tensors are always contiguous, so this is a zero-copy metadata
+    /// move: the result shares storage with `self` (copy-on-write keeps
+    /// later mutations of either side independent).
     ///
     /// # Panics
     /// If the element counts differ.
@@ -17,7 +20,7 @@ impl Tensor {
             shape,
             numel(shape)
         );
-        Tensor::from_vec(self.as_slice().to_vec(), shape)
+        Tensor::from_shared(self.storage(), shape)
     }
 
     /// Flatten into a 1-D tensor.
@@ -58,7 +61,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires 2-D, got {:?}", self.shape());
         let (r, c) = (self.shape()[0], self.shape()[1]);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; r * c];
+        let mut out = crate::pool::alloc_uninit(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = src[i * c + j];
@@ -83,13 +86,13 @@ impl Tensor {
         let src_strides = strides_for(src_shape);
         let out_shape: Vec<usize> = perm.iter().map(|&p| src_shape[p]).collect();
         let total = self.len();
-        let mut out = Vec::with_capacity(total);
+        let mut out = crate::pool::alloc_uninit(total);
         let src = self.as_slice();
         let mut index = vec![0usize; rank];
         let step: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
         let mut offset = 0usize;
-        for _ in 0..total {
-            out.push(src[offset]);
+        for slot in out.iter_mut() {
+            *slot = src[offset];
             for ax in (0..rank).rev() {
                 index[ax] += 1;
                 offset += step[ax];
@@ -117,15 +120,20 @@ impl Tensor {
             end,
             shape[axis]
         );
+        // Keeping the full extent is a no-op: share storage.
+        if start == 0 && end == shape[axis] {
+            return self.clone();
+        }
         let outer: usize = shape[..axis].iter().product();
         let inner: usize = shape[axis + 1..].iter().product();
         let n = shape[axis];
         let keep = end - start;
         let src = self.as_slice();
-        let mut out = Vec::with_capacity(outer * keep * inner);
+        let mut out = crate::pool::alloc_uninit(outer * keep * inner);
         for o in 0..outer {
             let base = (o * n + start) * inner;
-            out.extend_from_slice(&src[base..base + keep * inner]);
+            out[o * keep * inner..(o + 1) * keep * inner]
+                .copy_from_slice(&src[base..base + keep * inner]);
         }
         let mut out_shape = shape.to_vec();
         out_shape[axis] = keep;
@@ -157,16 +165,22 @@ impl Tensor {
                 );
             }
         }
+        // A one-tensor concat is a no-op: share storage.
+        if tensors.len() == 1 {
+            return tensors[0].clone();
+        }
         let outer: usize = first[..axis].iter().product();
         let inner: usize = first[axis + 1..].iter().product();
         let total_axis: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
-        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        let mut out = crate::pool::alloc_uninit(outer * total_axis * inner);
+        let mut cursor = 0usize;
         for o in 0..outer {
             for t in tensors {
                 let n = t.shape()[axis];
                 let src = t.as_slice();
                 let base = o * n * inner;
-                out.extend_from_slice(&src[base..base + n * inner]);
+                out[cursor..cursor + n * inner].copy_from_slice(&src[base..base + n * inner]);
+                cursor += n * inner;
             }
         }
         let mut out_shape = first.to_vec();
@@ -178,10 +192,15 @@ impl Tensor {
     pub fn stack(tensors: &[&Tensor]) -> Tensor {
         assert!(!tensors.is_empty(), "stack of zero tensors");
         let shape = tensors[0].shape().to_vec();
-        let mut out = Vec::with_capacity(tensors.len() * tensors[0].len());
-        for t in tensors {
+        // Stacking one tensor is an unsqueeze: share storage.
+        if tensors.len() == 1 {
+            return tensors[0].unsqueeze(0);
+        }
+        let row = tensors[0].len();
+        let mut out = crate::pool::alloc_uninit(tensors.len() * row);
+        for (i, t) in tensors.iter().enumerate() {
             assert_eq!(t.shape(), &shape[..], "stack shape mismatch");
-            out.extend_from_slice(t.as_slice());
+            out[i * row..(i + 1) * row].copy_from_slice(t.as_slice());
         }
         let mut out_shape = vec![tensors.len()];
         out_shape.extend_from_slice(&shape);
@@ -201,7 +220,7 @@ impl Tensor {
         let (h, w) = (self.shape()[rank - 2], self.shape()[rank - 1]);
         let outer: usize = self.shape()[..rank - 2].iter().product();
         let (oh, ow) = (h + 2 * pad, w + 2 * pad);
-        let mut out = vec![0.0f32; outer * oh * ow];
+        let mut out = crate::pool::alloc_zeroed(outer * oh * ow);
         let src = self.as_slice();
         for o in 0..outer {
             for i in 0..h {
@@ -240,6 +259,36 @@ mod tests {
         assert_eq!(t.flatten().shape(), &[6]);
         assert_eq!(t.unsqueeze(0).shape(), &[1, 2, 3]);
         assert_eq!(t.unsqueeze(0).squeeze(0).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn reshape_family_shares_storage() {
+        let t = Tensor::arange(6);
+        // Metadata moves: no copy, so the original is no longer unique.
+        let r = t.reshape(&[2, 3]);
+        assert!(!t.storage_unique());
+        let views = [r.flatten(), r.unsqueeze(1), r.unsqueeze(1).squeeze(1)];
+        for v in &views {
+            assert_eq!(v.as_slice(), t.as_slice());
+        }
+        // Copy-on-write keeps views independent under mutation.
+        let mut m = t.reshape(&[3, 2]);
+        m.set(&[0, 0], 99.0);
+        assert_eq!(t.at(&[0]), 0.0);
+        assert_eq!(m.at(&[0, 0]), 99.0);
+    }
+
+    #[test]
+    fn narrow_full_range_and_single_concat_share_storage() {
+        let t = Tensor::arange(8).reshape(&[2, 4]);
+        let full = t.narrow(1, 0, 4);
+        assert_eq!(full, t);
+        assert!(!t.storage_unique(), "full-range narrow is a clone");
+        let one = Tensor::concat(&[&t], 0);
+        assert_eq!(one, t);
+        let stacked = Tensor::stack(&[&t]);
+        assert_eq!(stacked.shape(), &[1, 2, 4]);
+        assert_eq!(stacked.as_slice(), t.as_slice());
     }
 
     #[test]

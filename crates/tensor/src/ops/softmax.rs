@@ -16,7 +16,7 @@ impl Tensor {
         assert!(cols > 0, "softmax over empty axis");
         let rows = self.len() / cols;
         let src = self.as_slice();
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = crate::pool::alloc_uninit(self.len());
         let out_ptr = SendPtr(out.as_mut_ptr());
         let do_row = move |r: usize| {
             let out_ptr = out_ptr;
@@ -37,7 +37,7 @@ impl Tensor {
             }
         };
         if self.len() >= PARALLEL_THRESHOLD && rows > 1 {
-            parallel_for(rows, &do_row);
+            parallel_for(rows, do_row);
         } else {
             (0..rows).for_each(do_row);
         }
@@ -50,7 +50,7 @@ impl Tensor {
         let cols = *self.shape().last().expect("non-empty shape");
         let rows = self.len() / cols;
         let src = self.as_slice();
-        let mut out = vec![0.0f32; self.len()];
+        let mut out = crate::pool::alloc_uninit(self.len());
         let out_ptr = SendPtr(out.as_mut_ptr());
         let do_row = move |r: usize| {
             let out_ptr = out_ptr;
@@ -63,7 +63,7 @@ impl Tensor {
             }
         };
         if self.len() >= PARALLEL_THRESHOLD && rows > 1 {
-            parallel_for(rows, &do_row);
+            parallel_for(rows, do_row);
         } else {
             (0..rows).for_each(do_row);
         }

@@ -6,15 +6,19 @@ use std::sync::Arc;
 use rand::distributions::Distribution;
 use rand::Rng;
 
+use crate::pool::Buffer;
 use crate::{numel, strides_for};
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// Cloning is O(1) (shared storage); mutation copies the buffer only when it
-/// is shared (copy-on-write).
+/// is shared (copy-on-write). Storage lives in a pooled [`Buffer`]: when the
+/// last handle drops, the backing vector is recycled through
+/// [`crate::pool`] instead of freed, so steady-state training and serving
+/// loops run without heap traffic.
 #[derive(Clone)]
 pub struct Tensor {
-    data: Arc<Vec<f32>>,
+    data: Arc<Buffer>,
     shape: Vec<usize>,
 }
 
@@ -34,19 +38,75 @@ impl Tensor {
             shape
         );
         Tensor {
-            data: Arc::new(data),
+            data: Arc::new(Buffer::from_vec(data)),
             shape: shape.to_vec(),
         }
     }
 
+    /// Build a tensor by copying a slice into a pooled buffer — the
+    /// allocation-free path (after warmup) for staging external data,
+    /// e.g. the converter's batch assembly.
+    ///
+    /// # Panics
+    /// If `data.len()` does not match the product of `shape`.
+    pub fn from_slice(data: &[f32], shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "Tensor::from_slice: buffer of {} elements does not fit shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data: Arc::new(Buffer::copied_from(data)),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wrap an already-shared buffer under a new shape — the zero-copy
+    /// path behind reshape/squeeze of contiguous tensors.
+    ///
+    /// # Panics
+    /// If the buffer length does not match the product of `shape`.
+    pub(crate) fn from_shared(data: Arc<Buffer>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "Tensor::from_shared: buffer of {} elements does not fit shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The shared storage handle (for zero-copy reshapes).
+    pub(crate) fn storage(&self) -> Arc<Buffer> {
+        Arc::clone(&self.data)
+    }
+
+    /// Whether this tensor is the only handle to its storage — the
+    /// condition under which in-place ops mutate without copying.
+    pub fn storage_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor::from_vec(vec![value], &[])
+        Tensor {
+            data: Arc::new(Buffer::filled(1, value)),
+            shape: Vec::new(),
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor::from_vec(vec![value; numel(shape)], shape)
+        Tensor {
+            data: Arc::new(Buffer::filled(numel(shape), value)),
+            shape: shape.to_vec(),
+        }
     }
 
     /// Tensor of zeros.
@@ -61,12 +121,16 @@ impl Tensor {
 
     /// `[0, 1, ..., n-1]` as a 1-D tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+        let mut data = crate::pool::alloc_uninit(n);
+        for (i, slot) in data.iter_mut().enumerate() {
+            *slot = i as f32;
+        }
+        Tensor::from_vec(data, &[n])
     }
 
     /// Identity matrix of size `n × n`.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
+        let mut data = crate::pool::alloc_zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -122,11 +186,12 @@ impl Tensor {
         Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consume into the flat buffer, cloning only if shared.
+    /// Consume into the flat buffer, cloning only if shared. The
+    /// returned vector leaves the pool's lifecycle.
     pub fn into_vec(self) -> Vec<f32> {
         match Arc::try_unwrap(self.data) {
-            Ok(v) => v,
-            Err(arc) => (*arc).clone(),
+            Ok(buffer) => buffer.into_vec(),
+            Err(arc) => arc.to_vec(),
         }
     }
 

@@ -1,0 +1,142 @@
+//! Property tests for broadcast arithmetic and its autograd adjoint
+//! (`reduce_to_shape`): random shape pairs, bit-identical in-place vs
+//! out-of-place results, and Cpu vs Parallel device parity.
+
+use geotorch_tensor::ops::broadcast::{reduce_to_shape, zip_broadcast, zip_broadcast_inplace};
+use geotorch_tensor::{with_device, Device, Tensor};
+use proptest::prelude::*;
+
+/// A `(dst, src)` shape pair where `src` broadcasts to `dst` without
+/// enlarging it — the precondition of the in-place fast paths. `src` is a
+/// suffix of `dst` with a random subset of axes collapsed to extent 1 and
+/// possibly some leading axes dropped entirely.
+fn inplace_shape_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    prop::collection::vec(1usize..5, 1..4).prop_flat_map(|dst| {
+        let rank = dst.len();
+        (
+            Just(dst),
+            0..=rank,
+            prop::collection::vec(any::<bool>(), rank..=rank),
+        )
+            .prop_map(|(dst, drop, collapse)| {
+                let src: Vec<usize> = dst[drop..]
+                    .iter()
+                    .zip(&collapse[drop..])
+                    .map(|(&d, &c)| if c { 1 } else { d })
+                    .collect();
+                (dst, src)
+            })
+    })
+}
+
+fn filled(shape: &[usize], seed: u64) -> Tensor {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(shape, -3.0, 3.0, &mut rng)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// The in-place broadcast op must be bit-identical to the
+    /// out-of-place one — the pooled fast path is an allocation
+    /// optimisation, never a numerics change.
+    #[test]
+    fn inplace_is_bit_identical((dst_shape, src_shape) in inplace_shape_pair(), seed in 0u64..500) {
+        let a = filled(&dst_shape, seed);
+        let b = filled(&src_shape, seed ^ 0x9e37);
+        for f in [|x: f32, y: f32| x + y, |x: f32, y: f32| x * y, |x: f32, y: f32| x - y] {
+            let reference = zip_broadcast(&a, &b, f);
+            let mut inplace = a.clone();
+            zip_broadcast_inplace(&mut inplace, &b, f);
+            prop_assert_eq!(inplace.shape(), reference.shape());
+            prop_assert_eq!(bits(&inplace), bits(&reference));
+            // The original operand must be untouched (copy-on-write).
+            prop_assert_eq!(bits(&a), bits(&filled(&dst_shape, seed)));
+        }
+    }
+
+    /// In-place on uniquely-held storage must not reallocate the result
+    /// into a different buffer than the operand started with.
+    #[test]
+    fn inplace_keeps_unique_storage((dst_shape, src_shape) in inplace_shape_pair(), seed in 0u64..200) {
+        let mut a = filled(&dst_shape, seed);
+        let b = filled(&src_shape, seed + 1);
+        prop_assert!(a.storage_unique());
+        let before = a.as_slice().as_ptr();
+        zip_broadcast_inplace(&mut a, &b, |x, y| x + y);
+        prop_assert!(a.storage_unique());
+        prop_assert_eq!(a.as_slice().as_ptr(), before, "unique buffer must be reused");
+    }
+
+    /// `reduce_to_shape` (the broadcast adjoint) must agree bit-for-bit
+    /// between the serial Cpu device and the Parallel worker pool — axis
+    /// reductions keep per-output-element accumulation order fixed.
+    #[test]
+    fn reduce_to_shape_device_parity((dst_shape, src_shape) in inplace_shape_pair(), seed in 0u64..200) {
+        let grad = filled(&dst_shape, seed);
+        let cpu = with_device(Device::Cpu, || reduce_to_shape(&grad, &src_shape));
+        let par = with_device(Device::parallel(), || reduce_to_shape(&grad, &src_shape));
+        prop_assert_eq!(cpu.shape(), &src_shape[..]);
+        prop_assert_eq!(bits(&cpu), bits(&par));
+    }
+
+    /// Summing the reduced gradient conserves the total gradient mass:
+    /// reduction only folds axes, it never drops or double-counts.
+    #[test]
+    fn reduce_to_shape_conserves_sum((dst_shape, src_shape) in inplace_shape_pair(), seed in 0u64..200) {
+        let grad = filled(&dst_shape, seed);
+        let reduced = reduce_to_shape(&grad, &src_shape);
+        let scale = (grad.len() / reduced.len().max(1)) as f32;
+        prop_assert!(
+            (reduced.sum() - grad.sum()).abs() <= 1e-3 * (1.0 + grad.sum().abs() * scale),
+            "mass changed: {} vs {}", reduced.sum(), grad.sum()
+        );
+    }
+
+    /// The gradient identity the tape relies on: for `out = broadcast(src)`
+    /// (elementwise copy), the adjoint routes each output gradient back to
+    /// the source slot that produced it.
+    #[test]
+    fn reduce_is_adjoint_of_broadcast((dst_shape, src_shape) in inplace_shape_pair(), seed in 0u64..100) {
+        let src = filled(&src_shape, seed);
+        let zeros = Tensor::zeros(&dst_shape);
+        // Broadcast src up by adding it to a zero tensor of the dst shape.
+        let up = zip_broadcast(&zeros, &src, |_, y| y);
+        let grad = filled(&dst_shape, seed + 7);
+        // <broadcast(src), grad> == <src, reduce(grad)>
+        let lhs: f32 = up.as_slice().iter().zip(grad.as_slice()).map(|(a, b)| a * b).sum();
+        let reduced = reduce_to_shape(&grad, &src_shape);
+        let rhs: f32 = src.as_slice().iter().zip(reduced.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()), "adjoint mismatch: {lhs} vs {rhs}");
+    }
+}
+
+/// Fixed large case that actually clears `PARALLEL_THRESHOLD`, so the
+/// Parallel device genuinely fans the reduction out over the worker pool
+/// (the random shapes above stay below the threshold).
+#[test]
+fn reduce_to_shape_device_parity_large() {
+    let grad = filled(&[64, 48, 32], 42); // 98304 elements > 16384 threshold
+    for target in [vec![64, 48, 32], vec![64, 1, 32], vec![48, 32], vec![32], vec![1]] {
+        let cpu = with_device(Device::Cpu, || reduce_to_shape(&grad, &target));
+        let par = with_device(Device::parallel(), || reduce_to_shape(&grad, &target));
+        assert_eq!(bits(&cpu), bits(&par), "device mismatch reducing to {target:?}");
+    }
+}
+
+/// Same for the in-place elementwise path: a large equal-shape add must be
+/// bit-identical across devices and against the out-of-place op.
+#[test]
+fn inplace_large_matches_out_of_place_across_devices() {
+    let a = filled(&[256, 128], 7);
+    let b = filled(&[256, 128], 8);
+    let reference = zip_broadcast(&a, &b, |x, y| x + y);
+    for device in [Device::Cpu, Device::parallel()] {
+        let mut inplace = a.clone();
+        with_device(device, || zip_broadcast_inplace(&mut inplace, &b, |x, y| x + y));
+        assert_eq!(bits(&inplace), bits(&reference), "device {device:?}");
+    }
+}

@@ -131,7 +131,7 @@ fn table1_feature_matrix() {
     // Grid + temporal: the periodical representation exists.
     let mut ds = StGridDataset::yellowtrip_nyc(8, 0);
     ds.set_periodical_representation(2, 1, 1);
-    assert!(ds.len() > 0);
+    assert!(!ds.is_empty());
     // Raster: datasets + models exist.
     assert_eq!(RasterDataset::sat4(1, 0).num_classes(), 4);
     // Scalable preprocessing: the partitioned engine is exercised in

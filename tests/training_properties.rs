@@ -22,14 +22,14 @@ proptest! {
 
         ds.set_basic_representation(lead);
         prop_assert_eq!(ds.len(), steps - lead);
-        if ds.len() > 0 {
+        if !ds.is_empty() {
             let _ = ds.get(ds.len() - 1); // must not panic
         }
 
         prop_assume!(steps > hist + pred);
         ds.set_sequential_representation(hist, pred);
         prop_assert_eq!(ds.len(), steps - hist - pred + 1);
-        if ds.len() > 0 {
+        if !ds.is_empty() {
             let _ = ds.get(ds.len() - 1);
         }
     }
@@ -43,7 +43,7 @@ proptest! {
         let raw = Tensor::ones(&[steps, 3, 4, 2]);
         let mut ds = GridDatasetBuilder::new(raw).steps_per_day(steps_per_day).build();
         ds.set_periodical_representation(lc, lp, lt);
-        prop_assume!(ds.len() > 0);
+        prop_assume!(!ds.is_empty());
         let StSample::Periodical { x_closeness, x_period, x_trend, y } = ds.get(0) else {
             return Err(TestCaseError::fail("wrong sample kind"));
         };

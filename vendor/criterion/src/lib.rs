@@ -51,14 +51,9 @@ impl From<String> for BenchmarkId {
 }
 
 /// Top-level harness state.
+#[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { filter: None }
-    }
 }
 
 impl Criterion {
