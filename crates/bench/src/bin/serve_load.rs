@@ -12,6 +12,13 @@
 //! latency per configuration as a markdown table (also written to
 //! `results/serve_load.md`), and exits non-zero unless the batched
 //! configuration achieves strictly higher throughput.
+//!
+//! With `--overload` it instead drives waves of far more concurrent
+//! requests than the admission bound, reporting the shed rate and the
+//! admitted-request latency to `results/serve_overload.md`; it exits
+//! non-zero if nothing was shed or any request saw a status other than
+//! 200/429 — the CI chaos job's check that load-shedding actually
+//! protects admitted traffic.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -65,9 +72,14 @@ fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
             max_batch,
             max_wait_ms: 2,
             device: Device::parallel(),
+            // Closed-loop clients must never be shed in the throughput
+            // comparison; admission control gets its own run.
+            queue_bound: (clients * 4).max(64),
         },
         http_workers: clients.max(1),
         enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        ..ServeConfig::default()
     };
     let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
     let addr = server.addr();
@@ -113,9 +125,129 @@ fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
     }
 }
 
+/// Drive waves of `wave_size` one-shot requests against a server whose
+/// admission bound is `bound`, recording every status and latency.
+fn run_overload(quick: bool) -> Result<String, String> {
+    let bound = 8usize;
+    let wave_size = 3 * bound;
+    let waves = if quick { 3 } else { 8 };
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+            queue_bound: bound,
+        },
+        // Sockets must never be the bottleneck: admission control, not
+        // accept capacity, has to do the shedding.
+        http_workers: wave_size,
+        enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
+    let addr = server.addr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+    let payload = serde_json::to_string(&sample).expect("serialize sample");
+    let path = format!("/predict/{MODEL}");
+    for _ in 0..2 {
+        post(addr, &path, &payload);
+    }
+
+    // Baseline: waves of exactly the bound, so the comparison includes
+    // the same queueing pipeline without any shedding pressure.
+    let fire_wave = |n: usize| -> Vec<(u16, f64)> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let payload = payload.as_str();
+                    let path = path.as_str();
+                    scope.spawn(move || {
+                        let sent = Instant::now();
+                        let status = post(addr, path, payload);
+                        (status, sent.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        })
+    };
+    let baseline: Vec<f64> = (0..waves)
+        .flat_map(|_| fire_wave(bound))
+        .map(|(_, secs)| secs)
+        .collect();
+    let baseline_summary = LatencySummary::from_secs(&baseline);
+
+    let outcomes: Vec<(u16, f64)> = (0..waves).flat_map(|_| fire_wave(wave_size)).collect();
+    server.shutdown();
+
+    let total = outcomes.len();
+    let admitted: Vec<f64> = outcomes
+        .iter()
+        .filter(|(s, _)| *s == 200)
+        .map(|(_, secs)| *secs)
+        .collect();
+    let shed = outcomes.iter().filter(|(s, _)| *s == 429).count();
+    let other: Vec<u16> = outcomes
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|s| *s != 200 && *s != 429)
+        .collect();
+    let admitted_summary = LatencySummary::from_secs(&admitted);
+    let rows = vec![
+        vec![
+            format!("unloaded (waves of {bound})"),
+            format!("{}", baseline.len()),
+            "0.0%".to_string(),
+            format!("{:.2}", baseline_summary.p50_ms),
+            format!("{:.2}", baseline_summary.p99_ms),
+        ],
+        vec![
+            format!("overload (waves of {wave_size}, bound {bound})"),
+            format!("{}", admitted.len()),
+            format!("{:.1}%", 100.0 * shed as f64 / total as f64),
+            format!("{:.2}", admitted_summary.p50_ms),
+            format!("{:.2}", admitted_summary.p99_ms),
+        ],
+    ];
+    let table = markdown_table(
+        &["scenario", "served", "shed rate", "admitted p50 ms", "admitted p99 ms"],
+        &rows,
+    );
+    let report = format!(
+        "## Admission control under overload — shed rate and admitted latency\n\n{table}\n_{waves} waves; shed = HTTP 429 with Retry-After; every other request answered 200_\n"
+    );
+    println!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/serve_overload.md", &report).ok();
+
+    if !other.is_empty() {
+        return Err(format!(
+            "overload produced statuses other than 200/429: {other:?}"
+        ));
+    }
+    if shed == 0 {
+        return Err(format!(
+            "waves of {wave_size} against a bound of {bound} shed nothing — admission control is not engaging"
+        ));
+    }
+    if admitted.is_empty() {
+        return Err("overload admitted nothing — shedding everything protects no one".to_string());
+    }
+    Ok(report)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--overload") {
+        if let Err(msg) = run_overload(quick) {
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let flag = |name: &str, default: usize| -> usize {
         args.iter()
             .position(|a| a == name)

@@ -1,0 +1,283 @@
+//! Acceptance tests for the serving robustness work, driven over real
+//! HTTP sockets and measured with the bench crate's [`LatencySummary`]:
+//!
+//! * **Overload**: with an admission bound of B, firing waves of > 2B
+//!   concurrent requests must shed with 429 while every admitted request
+//!   completes within its deadline, with an admitted p99 within 2x of
+//!   the unloaded p99 — and `/healthz` must walk ok → degraded → ok as
+//!   the backpressure watermarks trip and clear.
+//! * **Graceful drain**: shutdown with requests in flight answers every
+//!   admitted request (0 dropped) and returns well inside the drain
+//!   hard timeout.
+//!
+//! The two tests drive process-global telemetry and real load, so they
+//! serialise through a gate.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use geotorch_bench::LatencySummary;
+use geotorch_nn::{Module, Var};
+use geotorch_serve::{BatchConfig, Registry, ServeConfig, ServeModel, Server};
+use geotorch_tensor::{Device, Tensor};
+use serde::Value;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sleeps a fixed time per forward, so queueing behaviour is the only
+/// variable under test.
+struct FixedCost(u64);
+
+impl Module for FixedCost {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+}
+
+impl ServeModel for FixedCost {
+    fn predict(&self, batch: &Var) -> Var {
+        std::thread::sleep(Duration::from_millis(self.0));
+        batch.mul_scalar(2.0)
+    }
+}
+
+const BOUND: usize = 8;
+
+fn start_server(drain_timeout_ms: u64) -> Server {
+    let mut registry = Registry::new();
+    registry.register("fixed", None, || Box::new(FixedCost(8)) as Box<dyn ServeModel>);
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_wait_ms: 1,
+            device: Device::Cpu,
+            queue_bound: BOUND,
+        },
+        // Enough HTTP workers that sockets are never the bottleneck:
+        // admission control, not accept capacity, must do the shedding.
+        http_workers: 3 * BOUND,
+        enable_telemetry: true,
+        default_deadline_ms: 10_000,
+        socket_timeout_ms: 10_000,
+        max_body: 1 << 20,
+        drain_timeout_ms,
+    };
+    Server::start("127.0.0.1:0", registry, config).expect("server starts")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, payload.to_string())
+}
+
+fn healthz_status(addr: SocketAddr) -> String {
+    let (status, body) = {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let request =
+            format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("receive");
+        let (head, payload) = response.split_once("\r\n\r\n").expect("split");
+        let status: u16 = head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap();
+        (status, payload.to_string())
+    };
+    assert!(status == 200 || status == 503, "healthz must always answer");
+    let health: Value = serde_json::from_str(&body).expect("healthz is JSON");
+    health
+        .get("status")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Fire one wave of `n` concurrent single-shot requests; returns
+/// (status, latency seconds) per request.
+fn wave(addr: SocketAddr, payload: &str, n: usize) -> Vec<(u16, f64)> {
+    let barrier = Arc::new(Barrier::new(n));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let started = Instant::now();
+                    let (status, _) = post(addr, "/predict/fixed", payload);
+                    (status, started.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn overload_sheds_429_admitted_meet_deadlines_and_health_recovers() {
+    let _g = serial();
+    let server = start_server(30_000);
+    let addr = server.addr();
+    let payload = serde_json::to_string(&Tensor::from_vec(vec![1.0], &[1])).unwrap();
+
+    // Warm-up, then the unloaded baseline: waves of exactly the bound,
+    // so the baseline includes the same batching/queueing pipeline the
+    // overloaded admitted requests go through.
+    post(addr, "/predict/fixed", &payload);
+    assert_eq!(healthz_status(addr), "ok", "healthy before load");
+    let mut baseline = Vec::new();
+    for _ in 0..4 {
+        for (status, secs) in wave(addr, &payload, BOUND) {
+            assert_eq!(status, 200, "baseline waves are under the bound");
+            baseline.push(secs);
+        }
+    }
+    let baseline_summary = LatencySummary::from_secs(&baseline);
+
+    // Overload: waves of 3B concurrent requests against a bound of B,
+    // with a healthz poller watching for the degraded window.
+    let stop_poller = Arc::new(AtomicBool::new(false));
+    let poller = std::thread::spawn({
+        let stop = Arc::clone(&stop_poller);
+        move || {
+            let mut saw_degraded = false;
+            while !stop.load(Ordering::SeqCst) {
+                if healthz_status(addr) == "degraded" {
+                    saw_degraded = true;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            saw_degraded
+        }
+    });
+    let mut outcomes = Vec::new();
+    for _ in 0..4 {
+        outcomes.extend(wave(addr, &payload, 3 * BOUND));
+    }
+    stop_poller.store(true, Ordering::SeqCst);
+    let saw_degraded = poller.join().unwrap();
+
+    let admitted: Vec<f64> = outcomes
+        .iter()
+        .filter(|(s, _)| *s == 200)
+        .map(|(_, secs)| *secs)
+        .collect();
+    let shed = outcomes.iter().filter(|(s, _)| *s == 429).count();
+    let other: Vec<u16> = outcomes
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|s| *s != 200 && *s != 429)
+        .collect();
+    assert!(
+        other.is_empty(),
+        "overload must produce only 200s and 429s, got {other:?}"
+    );
+    assert!(shed > 0, "waves of 3x the bound must shed");
+    assert!(
+        admitted.len() >= BOUND,
+        "admission control must still serve up to the bound per wave, served {}",
+        admitted.len()
+    );
+
+    // Admitted requests are the point of load shedding: they must not
+    // absorb the overload as latency.
+    let admitted_summary = LatencySummary::from_secs(&admitted);
+    assert!(
+        admitted_summary.p99_ms <= 2.0 * baseline_summary.p99_ms,
+        "admitted p99 {:.2} ms vs unloaded p99 {:.2} ms — more than 2x under overload",
+        admitted_summary.p99_ms,
+        baseline_summary.p99_ms
+    );
+
+    assert!(
+        saw_degraded,
+        "healthz must report degraded while the queue is past its high watermark"
+    );
+    // Hysteresis: once the waves drain, health returns to ok.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let status = healthz_status(addr);
+        if status == "ok" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "healthz stuck at `{status}` after the load");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_every_in_flight_request() {
+    let _g = serial();
+    const IN_FLIGHT: usize = 16;
+    let server = start_server(10_000);
+    let addr = server.addr();
+    let payload = serde_json::to_string(&Tensor::from_vec(vec![7.0], &[1])).unwrap();
+    post(addr, "/predict/fixed", &payload); // warm-up
+
+    let barrier = Arc::new(Barrier::new(IN_FLIGHT + 1));
+    let outcomes: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..IN_FLIGHT)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let payload = payload.as_str();
+                scope.spawn(move || {
+                    barrier.wait();
+                    post(addr, "/predict/fixed", payload)
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Give the HTTP workers time to read every request and admit it
+        // into the batch queue, then pull the plug mid-flight.
+        std::thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        server.shutdown();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "drain must finish well inside the 10 s hard timeout, took {elapsed:?}"
+        );
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero dropped: every request that reached the server gets a
+    // complete, parseable answer — an admitted one gets its prediction.
+    let ok = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    for (status, body) in &outcomes {
+        // 200: admitted and served through the drain. 429: shed at
+        // admission (16 > the bound of 8). 503: raced the stop flag.
+        // All three are complete answers; a dropped connection would
+        // have failed the read in `post` instead.
+        assert!(
+            *status == 200 || *status == 429 || *status == 503,
+            "drain must answer every request cleanly, got {status}: {body}"
+        );
+        if *status == 200 {
+            let parsed: Value = serde_json::from_str(body).expect("complete JSON body");
+            let data = parsed.get("data").and_then(Value::as_array).expect("tensor data");
+            assert_eq!(data.len(), 1, "complete prediction payload");
+        }
+    }
+    assert!(
+        ok >= 1,
+        "requests admitted before the drain must still be served, got {outcomes:?}"
+    );
+}

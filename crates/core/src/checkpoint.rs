@@ -105,6 +105,15 @@ fn save_impl(
         std::fs::remove_file(&tmp).ok();
         return Err(CheckpointError::Io(e));
     }
+    // Chaos hook for the crash window the tmp+rename dance exists for:
+    // a fault injected here (error or panic) must leave any previous
+    // checkpoint at `path` untouched and loadable.
+    if let Err(msg) = geotorch_telemetry::fault_point!("core.checkpoint.rename") {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Format(format!(
+            "injected fault between staging write and rename: {msg}"
+        )));
+    }
     std::fs::rename(&tmp, path).map_err(|e| {
         std::fs::remove_file(&tmp).ok();
         CheckpointError::Io(e)
@@ -126,6 +135,11 @@ pub struct CheckpointMeta {
 /// Parse a checkpoint file into its metadata and tensors, accepting both
 /// the v1 header format and legacy headerless arrays.
 fn parse(path: &Path) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> {
+    if let Err(msg) = geotorch_telemetry::fault_point!("core.checkpoint.load") {
+        return Err(CheckpointError::Format(format!(
+            "injected load fault: {msg}"
+        )));
+    }
     let json = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
     let value: Value =
         serde_json::from_str(&json).map_err(|e| CheckpointError::Format(e.to_string()))?;

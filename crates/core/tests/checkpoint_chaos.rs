@@ -1,0 +1,188 @@
+//! Chaos tests for checkpoint durability: inject failures (errors and
+//! panics) into the window between the staging write and the atomic
+//! rename, and into the load path, and prove the previously valid
+//! checkpoint always survives byte-for-byte and stays loadable.
+//!
+//! The fault registry is process-global; every test takes `serial()`.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use geotorch_core::checkpoint::{self, CheckpointError};
+use geotorch_models::raster::SatCnn;
+use geotorch_models::RasterClassifier;
+use geotorch_nn::{Module, Var};
+use geotorch_tensor::Tensor;
+use geotorch_telemetry::fault::{self, FaultAction, FaultPlan};
+use rand::SeedableRng;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("GEOTORCH_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("geotorch_chaos_{}_{name}.json", std::process::id()))
+}
+
+fn model(seed: u64) -> SatCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    SatCnn::new(2, 8, 8, 3, &mut rng)
+}
+
+fn logits(m: &SatCnn) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let x = Var::constant(Tensor::rand_uniform(&[1, 2, 8, 8], 0.0, 1.0, &mut rng));
+    geotorch_nn::no_grad(|| m.forward(&x, None).value())
+}
+
+fn staging_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+#[test]
+fn injected_error_before_rename_preserves_the_prior_checkpoint() {
+    let _g = serial();
+    let path = tmp("rename_error");
+    let donor = model(0);
+    checkpoint::save_named(&donor, "satcnn", &path).expect("initial save");
+    let golden_bytes = std::fs::read(&path).expect("read prior checkpoint");
+    let golden_logits = logits(&donor);
+
+    // Change the weights, then fail the second save in the crash window.
+    for p in donor.parameters() {
+        p.assign(p.value().mul_scalar(3.0));
+    }
+    fault::install(FaultPlan::new(chaos_seed()).always(
+        "core.checkpoint.rename",
+        FaultAction::Error("disk pulled".into()),
+    ));
+    let err = checkpoint::save_named(&donor, "satcnn", &path)
+        .expect_err("the injected fault must fail the save");
+    fault::clear();
+    assert!(
+        matches!(&err, CheckpointError::Format(msg) if msg.contains("injected")),
+        "unexpected error: {err}"
+    );
+
+    // The prior checkpoint is untouched, the staging file is gone, and
+    // load_named still round-trips the original weights.
+    assert_eq!(
+        std::fs::read(&path).expect("checkpoint still exists"),
+        golden_bytes,
+        "a failed save must not disturb the previous checkpoint"
+    );
+    assert!(
+        !staging_path(&path).exists(),
+        "the staging .tmp file must be cleaned up on a failed save"
+    );
+    let restored = model(99);
+    checkpoint::load_named(&restored, "satcnn", &path).expect("prior checkpoint loads");
+    assert_eq!(
+        logits(&restored).as_slice(),
+        golden_logits.as_slice(),
+        "the restored weights must be the pre-fault weights"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn injected_panic_before_rename_preserves_the_prior_checkpoint() {
+    let _g = serial();
+    let path = tmp("rename_panic");
+    let donor = model(1);
+    checkpoint::save_named(&donor, "satcnn", &path).expect("initial save");
+    let golden_bytes = std::fs::read(&path).expect("read prior checkpoint");
+
+    fault::install(FaultPlan::new(chaos_seed()).always(
+        "core.checkpoint.rename",
+        FaultAction::Panic("process crashed mid-save".into()),
+    ));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        checkpoint::save_named(&donor, "satcnn", &path)
+    }));
+    fault::clear();
+    assert!(outcome.is_err(), "the injected panic must escape the save");
+
+    // A crash between staging write and rename is exactly what the
+    // tmp+rename dance defends against: the destination is intact.
+    assert_eq!(
+        std::fs::read(&path).expect("checkpoint still exists"),
+        golden_bytes,
+        "a crash mid-save must not disturb the previous checkpoint"
+    );
+    let restored = model(98);
+    checkpoint::load_named(&restored, "satcnn", &path).expect("prior checkpoint loads");
+    // The simulated crash leaves the staging file behind, as a real
+    // crash would; it must not confuse later saves.
+    checkpoint::save_named(&donor, "satcnn", &path).expect("the next save succeeds");
+    assert!(!staging_path(&path).exists());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn injected_load_fault_fails_cleanly_then_recovers() {
+    let _g = serial();
+    let path = tmp("load_fault");
+    let donor = model(2);
+    checkpoint::save_named(&donor, "satcnn", &path).expect("save");
+
+    fault::install(FaultPlan::new(chaos_seed()).always(
+        "core.checkpoint.load",
+        FaultAction::Error("torn page".into()),
+    ));
+    let restored = model(97);
+    let err = checkpoint::load_named(&restored, "satcnn", &path)
+        .expect_err("the injected fault must fail the load");
+    assert!(
+        matches!(&err, CheckpointError::Format(msg) if msg.contains("injected")),
+        "unexpected error: {err}"
+    );
+    fault::clear();
+
+    // With the plan cleared the very same file loads fine — the fault
+    // was in the injected environment, not the data.
+    checkpoint::load_named(&restored, "satcnn", &path).expect("load recovers");
+    assert_eq!(logits(&restored).as_slice(), logits(&donor).as_slice());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn probabilistic_save_faults_are_deterministic_per_seed() {
+    let _g = serial();
+    let path = tmp("prob_determinism");
+    let donor = model(3);
+    let run = |seed: u64| -> (Vec<bool>, Vec<fault::FaultRecord>) {
+        fault::install(FaultPlan::new(seed).with_probability(
+            "core.checkpoint.rename",
+            0.5,
+            FaultAction::Error("flaky disk".into()),
+        ));
+        let failures: Vec<bool> = (0..20)
+            .map(|_| checkpoint::save_named(&donor, "satcnn", &path).is_err())
+            .collect();
+        (failures, fault::clear())
+    };
+    let seed = chaos_seed();
+    let (fail_a, log_a) = run(seed);
+    let (fail_b, log_b) = run(seed);
+    assert_eq!(fail_a, fail_b, "same seed must fail the same saves");
+    assert_eq!(log_a, log_b, "same seed must record the same injections");
+    assert!(
+        fail_a.iter().any(|&f| f) && fail_a.iter().any(|&f| !f),
+        "p=0.5 over 20 saves should fail some and pass some: {fail_a:?}"
+    );
+    // Whatever the injected failure pattern, the file on disk is always
+    // a complete, loadable checkpoint — never a torn write.
+    checkpoint::load_named(&model(96), "satcnn", &path).expect("survivor loads");
+    std::fs::remove_file(&path).ok();
+}

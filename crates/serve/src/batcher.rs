@@ -18,10 +18,42 @@
 //! legal — a batch is partitioned into per-shape groups, one forward
 //! each, so every caller gets exactly what a sequential forward would
 //! have produced.
+//!
+//! # Robustness
+//!
+//! Three production concerns are enforced here rather than at the HTTP
+//! edge, so they also protect embedded users of [`ModelClient`]:
+//!
+//! * **Bounded admission.** At most [`BatchConfig::queue_bound`]
+//!   requests may be admitted-but-unanswered per model; the next one is
+//!   shed with [`ServeError::Overloaded`] (HTTP 429) instead of growing
+//!   the queue without limit. Crossing the high watermark (¾ of the
+//!   bound) flips the worker into a *pressured* state — reported by
+//!   `/healthz` as `degraded` and by the `serve.backpressure` gauge —
+//!   which clears only once the depth falls below the low watermark
+//!   (¼), so health does not flap at the boundary.
+//! * **Deadlines.** Every request can carry a deadline. Expired
+//!   requests are answered with [`ServeError::DeadlineExceeded`] (HTTP
+//!   504) at admission, when popped from the queue, and again right
+//!   before the forward — an expired request never occupies a batch
+//!   slot. The caller also stops waiting at its deadline, so no thread
+//!   blocks forever on a wedged forward.
+//! * **Graceful drain with a hard timeout.** Shutdown enqueues a FIFO
+//!   sentinel: every request admitted before it is still served, then
+//!   the worker exits and is joined — but the join gives up after the
+//!   drain timeout (counted as `serve.drain.timeout`) so a wedged model
+//!   cannot block process exit.
+//!
+//! Fault points for chaos tests: `serve.batcher.forward` (before the
+//! batched forward — a panic here kills the worker thread, which
+//! `/healthz` must report) and `serve.batcher.model` (inside the
+//! panic-isolated model call — a panic here fails one batch and the
+//! worker survives).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,6 +75,10 @@ pub struct BatchConfig {
     pub max_wait_ms: u64,
     /// Device the batched forward runs on.
     pub device: Device,
+    /// Most admitted-but-unanswered requests per model. The next
+    /// request past the bound is shed with [`ServeError::Overloaded`]
+    /// instead of queueing without limit.
+    pub queue_bound: usize,
 }
 
 impl Default for BatchConfig {
@@ -51,6 +87,112 @@ impl Default for BatchConfig {
             max_batch: 8,
             max_wait_ms: 2,
             device: Device::parallel(),
+            queue_bound: 64,
+        }
+    }
+}
+
+/// Process-wide queue depth across every live model worker, exported as
+/// the `serve.queue_depth` gauge.
+static GLOBAL_DEPTH: AtomicU64 = AtomicU64::new(0);
+/// Number of workers currently past their high watermark, exported as
+/// the `serve.backpressure` gauge.
+static GLOBAL_PRESSURED: AtomicU64 = AtomicU64::new(0);
+
+fn register_gauges() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        geotorch_telemetry::register_gauge("serve.queue_depth", || {
+            GLOBAL_DEPTH.load(Ordering::Relaxed)
+        });
+        geotorch_telemetry::register_gauge("serve.backpressure", || {
+            GLOBAL_PRESSURED.load(Ordering::Relaxed)
+        });
+    });
+}
+
+/// Shared between a worker, its clients, and `/healthz`: admission
+/// accounting and liveness.
+pub(crate) struct WorkerState {
+    depth: AtomicUsize,
+    bound: usize,
+    pressured: AtomicBool,
+    alive: AtomicBool,
+    died: AtomicBool,
+}
+
+impl WorkerState {
+    fn new(bound: usize) -> WorkerState {
+        register_gauges();
+        WorkerState {
+            depth: AtomicUsize::new(0),
+            bound: bound.max(1),
+            pressured: AtomicBool::new(false),
+            alive: AtomicBool::new(true),
+            died: AtomicBool::new(false),
+        }
+    }
+
+    fn high_watermark(&self) -> usize {
+        (self.bound * 3 / 4).max(1)
+    }
+
+    fn low_watermark(&self) -> usize {
+        self.bound / 4
+    }
+
+    fn mark_stopped(&self, died: bool) {
+        self.alive.store(false, Ordering::SeqCst);
+        if died {
+            self.died.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Decrements the admission accounting when the request it rides on is
+/// answered (or dropped), whichever thread that happens on.
+struct AdmitGuard {
+    state: Arc<WorkerState>,
+}
+
+impl AdmitGuard {
+    fn admit(state: &Arc<WorkerState>) -> Result<AdmitGuard, ServeError> {
+        let prev = state.depth.fetch_add(1, Ordering::SeqCst);
+        if prev >= state.bound {
+            state.depth.fetch_sub(1, Ordering::SeqCst);
+            geotorch_telemetry::count!("serve.shed", 1);
+            return Err(ServeError::Overloaded(format!(
+                "queue is full ({} admitted, bound {})",
+                prev, state.bound
+            )));
+        }
+        GLOBAL_DEPTH.fetch_add(1, Ordering::Relaxed);
+        if prev + 1 >= state.high_watermark()
+            && state
+                .pressured
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            GLOBAL_PRESSURED.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(AdmitGuard {
+            state: Arc::clone(state),
+        })
+    }
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        let now = self.state.depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        GLOBAL_DEPTH.fetch_sub(1, Ordering::Relaxed);
+        if now <= self.state.low_watermark()
+            && self
+                .state
+                .pressured
+                .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            GLOBAL_PRESSURED.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -58,7 +200,11 @@ impl Default for BatchConfig {
 struct Request {
     input: Tensor,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Tensor, ServeError>>,
+    /// Held until the request is answered or dropped; releases the
+    /// admission slot either way.
+    _admit: AdmitGuard,
 }
 
 /// Queue messages. `Shutdown` is an explicit sentinel (sent by
@@ -77,6 +223,8 @@ pub struct ModelWorker {
     name: String,
     tx: Option<mpsc::Sender<Msg>>,
     join: Option<JoinHandle<()>>,
+    done_rx: mpsc::Receiver<()>,
+    state: Arc<WorkerState>,
 }
 
 /// Cheap, cloneable submission handle for one served model.
@@ -84,6 +232,7 @@ pub struct ModelWorker {
 pub struct ModelClient {
     name: String,
     tx: mpsc::Sender<Msg>,
+    state: Arc<WorkerState>,
 }
 
 impl ModelWorker {
@@ -101,6 +250,9 @@ impl ModelWorker {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         let (tx, rx) = mpsc::channel::<Msg>();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let state = Arc::new(WorkerState::new(config.queue_bound));
+        let thread_state = Arc::clone(&state);
         let thread_name = format!("serve-{name}");
         let stat_name = name.to_string();
         let join = std::thread::Builder::new()
@@ -109,6 +261,7 @@ impl ModelWorker {
                 let model = match init() {
                     Ok(model) => model,
                     Err(e) => {
+                        thread_state.mark_stopped(false);
                         ready_tx.send(Err(e)).ok();
                         return;
                     }
@@ -121,7 +274,18 @@ impl ModelWorker {
                 let model_stat = geotorch_telemetry::register_dynamic(format!(
                     "serve.model.{stat_name}"
                 ));
-                serve_loop(model.as_ref(), &rx, config, model_stat);
+                // A panic past this point (e.g. an injected fault
+                // outside the per-batch isolation) kills only this
+                // model: the flag flips `/healthz` to degraded while
+                // queued callers get disconnect errors.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve_loop(model.as_ref(), &rx, config, model_stat)
+                }));
+                thread_state.mark_stopped(outcome.is_err());
+                if outcome.is_err() {
+                    geotorch_telemetry::count!("serve.worker.died", 1);
+                }
+                done_tx.send(()).ok();
             })
             .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
         match ready_rx.recv() {
@@ -129,6 +293,8 @@ impl ModelWorker {
                 name: name.to_string(),
                 tx: Some(tx),
                 join: Some(join),
+                done_rx,
+                state,
             }),
             Ok(Err(e)) => {
                 join.join().ok();
@@ -153,30 +319,65 @@ impl ModelWorker {
         ModelClient {
             name: self.name.clone(),
             tx: self.tx.as_ref().expect("worker is running").clone(),
+            state: Arc::clone(&self.state),
         }
+    }
+
+    /// Whether the owner thread is still serving. `false` after a clean
+    /// shutdown *or* an unexpected death — see [`ModelWorker::has_died`].
+    pub fn is_alive(&self) -> bool {
+        self.state.alive.load(Ordering::SeqCst)
+    }
+
+    /// Whether the owner thread exited abnormally (a panic escaped the
+    /// per-batch isolation).
+    pub fn has_died(&self) -> bool {
+        self.state.died.load(Ordering::SeqCst)
     }
 
     /// Stop the worker: every request already enqueued is still served,
     /// then the owner thread exits and is joined. Requests submitted
-    /// after this call fail with [`ServeError::Internal`], even through
-    /// [`ModelClient`] clones that outlive the worker.
+    /// after this call fail, even through [`ModelClient`] clones that
+    /// outlive the worker. Waits up to 30 s — use
+    /// [`ModelWorker::shutdown_within`] to pick the hard timeout.
     pub fn shutdown(mut self) {
-        self.stop();
+        self.stop(Duration::from_secs(30));
     }
 
-    fn stop(&mut self) {
+    /// Like [`ModelWorker::shutdown`] with an explicit hard timeout.
+    /// Returns `false` when the drain timed out: the sentinel is still
+    /// queued so the worker exits when it unwedges, but the thread is
+    /// detached instead of joined (and `serve.drain.timeout` counts it).
+    pub fn shutdown_within(mut self, timeout: Duration) -> bool {
+        self.stop(timeout)
+    }
+
+    fn stop(&mut self, timeout: Duration) -> bool {
         if let Some(tx) = self.tx.take() {
             tx.send(Msg::Shutdown).ok();
         }
-        if let Some(join) = self.join.take() {
-            join.join().ok();
+        let Some(join) = self.join.take() else {
+            return true;
+        };
+        match self.done_rx.recv_timeout(timeout) {
+            // Normal exit (or the worker was already gone): the thread
+            // is past its loop, so this join returns immediately.
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                join.join().ok();
+                true
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                geotorch_telemetry::count!("serve.drain.timeout", 1);
+                drop(join);
+                false
+            }
         }
     }
 }
 
 impl Drop for ModelWorker {
     fn drop(&mut self) {
-        self.stop();
+        self.stop(Duration::from_secs(30));
     }
 }
 
@@ -185,6 +386,8 @@ impl std::fmt::Debug for ModelWorker {
         f.debug_struct("ModelWorker")
             .field("name", &self.name)
             .field("running", &self.tx.is_some())
+            .field("alive", &self.is_alive())
+            .field("queue_depth", &self.state.depth.load(Ordering::SeqCst))
             .finish()
     }
 }
@@ -195,21 +398,104 @@ impl ModelClient {
         &self.name
     }
 
+    /// Admitted-but-unanswered requests right now.
+    pub fn queue_depth(&self) -> usize {
+        self.state.depth.load(Ordering::SeqCst)
+    }
+
+    /// The admission bound this model was spawned with.
+    pub fn queue_bound(&self) -> usize {
+        self.state.bound
+    }
+
+    /// Whether the queue is past its high watermark (and has not yet
+    /// fallen back below the low watermark).
+    pub fn is_pressured(&self) -> bool {
+        self.state.pressured.load(Ordering::SeqCst)
+    }
+
+    /// Whether the owner thread is still serving.
+    pub fn is_alive(&self) -> bool {
+        self.state.alive.load(Ordering::SeqCst)
+    }
+
+    /// Whether the owner thread exited abnormally.
+    pub fn has_died(&self) -> bool {
+        self.state.died.load(Ordering::SeqCst)
+    }
+
     /// Predict one sample (shaped like a single batch row, e.g.
-    /// `[C, H, W]`). Blocks until the scheduler has batched, run, and
-    /// scattered the forward.
+    /// `[C, H, W]`) with no deadline. Blocks until the scheduler has
+    /// batched, run, and scattered the forward. Subject to admission
+    /// control: sheds with [`ServeError::Overloaded`] when the queue
+    /// bound is reached.
     pub fn predict(&self, sample: Tensor) -> Result<Tensor, ServeError> {
+        self.predict_with_deadline(sample, None)
+    }
+
+    /// Like [`ModelClient::predict`], but give the request `budget` to
+    /// complete. An expired request is answered with
+    /// [`ServeError::DeadlineExceeded`] — checked at admission, when the
+    /// scheduler pops it, before the forward, and by this caller while
+    /// it waits — and never occupies a batch slot once expired.
+    pub fn predict_with_deadline(
+        &self,
+        sample: Tensor,
+        budget: Option<Duration>,
+    ) -> Result<Tensor, ServeError> {
+        if !self.state.alive.load(Ordering::SeqCst) {
+            return Err(self.gone_error());
+        }
+        let admit = AdmitGuard::admit(&self.state)?;
+        let now = Instant::now();
+        let deadline = budget.map(|b| now + b);
+        if budget == Some(Duration::ZERO) {
+            geotorch_telemetry::count!("serve.expired", 1);
+            return Err(ServeError::DeadlineExceeded(
+                "deadline expired before admission".to_string(),
+            ));
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         self.tx
             .send(Msg::Predict(Request {
                 input: sample,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline,
                 reply: reply_tx,
+                _admit: admit,
             }))
-            .map_err(|_| ServeError::Internal("model worker has shut down".to_string()))?;
-        reply_rx
-            .recv()
-            .map_err(|_| ServeError::Internal("model worker dropped the request".to_string()))?
+            .map_err(|_| self.gone_error())?;
+        match deadline {
+            None => reply_rx.recv().map_err(|_| self.gone_error())?,
+            Some(deadline) => loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    // The worker may still answer later (e.g. a wedged
+                    // forward); the reply then lands in a dropped
+                    // channel. Give up here so no caller outlives its
+                    // own deadline.
+                    geotorch_telemetry::count!("serve.expired", 1);
+                    break Err(ServeError::DeadlineExceeded(
+                        "deadline expired while waiting for the model".to_string(),
+                    ));
+                }
+                match reply_rx.recv_timeout(deadline - now) {
+                    Ok(result) => break result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break Err(self.gone_error()),
+                }
+            },
+        }
+    }
+
+    fn gone_error(&self) -> ServeError {
+        if self.state.died.load(Ordering::SeqCst) {
+            ServeError::Unavailable(format!("model worker `{}` died", self.name))
+        } else if !self.state.alive.load(Ordering::SeqCst) {
+            ServeError::Unavailable(format!("model worker `{}` has shut down", self.name))
+        } else {
+            ServeError::Internal("model worker dropped the request".to_string())
+        }
     }
 }
 
@@ -217,6 +503,25 @@ static REQUESTS: OnceLock<&'static Stat> = OnceLock::new();
 static BATCHES: OnceLock<&'static Stat> = OnceLock::new();
 static BATCH_SIZE: OnceLock<&'static Stat> = OnceLock::new();
 static QUEUE_WAIT: OnceLock<&'static Stat> = OnceLock::new();
+
+/// Answer an expired request with 504 and drop it (the admission slot is
+/// released by the guard). Returns the request back when it still has
+/// time on the clock.
+fn reject_if_expired(request: Request) -> Option<Request> {
+    match request.deadline {
+        Some(deadline) if Instant::now() >= deadline => {
+            geotorch_telemetry::count!("serve.expired", 1);
+            request
+                .reply
+                .send(Err(ServeError::DeadlineExceeded(
+                    "deadline expired in the batch queue".to_string(),
+                )))
+                .ok();
+            None
+        }
+        _ => Some(request),
+    }
+}
 
 fn serve_loop(
     model: &dyn ServeModel,
@@ -226,10 +531,18 @@ fn serve_loop(
 ) {
     loop {
         // Block for the head of the next batch; the shutdown sentinel
-        // (or a fully disconnected channel) stops the worker.
-        let first = match rx.recv() {
-            Ok(Msg::Predict(r)) => r,
-            Ok(Msg::Shutdown) | Err(_) => return,
+        // (or a fully disconnected channel) stops the worker. Requests
+        // that expired while queued are answered with 504 and never
+        // open a batch.
+        let first = loop {
+            match rx.recv() {
+                Ok(Msg::Predict(r)) => {
+                    if let Some(r) = reject_if_expired(r) {
+                        break r;
+                    }
+                }
+                Ok(Msg::Shutdown) | Err(_) => return,
+            }
         };
         let deadline = Instant::now() + Duration::from_millis(config.max_wait_ms);
         let mut batch = vec![first];
@@ -240,7 +553,11 @@ fn serve_loop(
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(Msg::Predict(r)) => batch.push(r),
+                Ok(Msg::Predict(r)) => {
+                    if let Some(r) = reject_if_expired(r) {
+                        batch.push(r);
+                    }
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => break,
                 Ok(Msg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => {
                     stopping = true;
@@ -264,6 +581,12 @@ fn run_batch(
     config: BatchConfig,
     model_stat: &'static Stat,
 ) {
+    // Last deadline check before the forward: a request that expired
+    // while the batch window was open must not take a batch slot.
+    let batch: Vec<Request> = batch.into_iter().filter_map(reject_if_expired).collect();
+    if batch.is_empty() {
+        return;
+    }
     if geotorch_telemetry::enabled() {
         let now = Instant::now();
         geotorch_telemetry::stat(&REQUESTS, "serve.requests").add(batch.len() as u64);
@@ -286,10 +609,25 @@ fn run_batch(
     }
 
     for (shape, members) in groups {
+        // Chaos hook *outside* the panic isolation: an injected error
+        // fails this group cleanly, an injected panic kills the worker
+        // thread (the scenario `/healthz` must surface as degraded).
+        if let Err(msg) = geotorch_telemetry::fault_point!("serve.batcher.forward") {
+            let err = ServeError::Internal(format!("injected batcher fault: {msg}"));
+            for request in &members {
+                request.reply.send(Err(err.clone())).ok();
+            }
+            continue;
+        }
         let inputs: Vec<&Tensor> = members.iter().map(|r| &r.input).collect();
         let stacked = Tensor::stack(&inputs);
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // Chaos hook *inside* the isolation: behaves like a model
+            // bug — the batch fails, the worker survives.
+            if let Err(msg) = geotorch_telemetry::fault_point!("serve.batcher.model") {
+                panic!("injected model fault: {msg}");
+            }
             with_device(config.device, || {
                 no_grad(|| model.predict(&Var::constant(stacked)).value())
             })

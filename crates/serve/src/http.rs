@@ -4,14 +4,21 @@
 //! byte-scanner (request line, headers, `Content-Length` body), bodies
 //! are JSON rendered through the vendored `serde_json`. A fixed pool of
 //! worker threads shares the listener (each holds its own
-//! `try_clone`d handle and blocks in `accept`), so slow clients only
-//! stall their own worker.
+//! `try_clone`d handle and blocks in `accept`); socket read/write
+//! timeouts bound how long a slow or stalled client can occupy a worker,
+//! so one bad peer cannot wedge an accept-loop thread.
 //!
 //! | Endpoint | Method | Body | Response |
 //! |---|---|---|---|
 //! | `/predict/<model>` | POST | `{"shape": [...], "data": [...]}` (one sample, no batch axis) | `{"model": ..., "shape": [...], "data": [...]}` |
-//! | `/healthz` | GET | — | `{"status": "ok", "models": [...]}` |
+//! | `/healthz` | GET | — | `{"status": "ok"\|"degraded"\|"draining", "models": [...], "model_status": {...}, "queue_depth": n}` |
 //! | `/metrics` | GET | — | `geotorch-telemetry` snapshot (`serve.*` stats included) |
+//!
+//! Status codes: `200` success, `400` malformed request, `404` unknown
+//! model/route, `408` client too slow, `413` body over the limit, `429`
+//! shed by admission control (with `Retry-After`), `500` model failure,
+//! `503` draining or dead worker, `504` deadline exceeded. A request may
+//! carry `X-Deadline-Ms` to override the server's default deadline.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -19,7 +26,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use geotorch_tensor::Tensor;
 use serde::{Serialize, Value};
@@ -30,13 +37,27 @@ use crate::{Registry, ServeError};
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Micro-batching knobs shared by every served model.
+    /// Micro-batching and admission knobs shared by every served model.
     pub batch: BatchConfig,
     /// HTTP worker threads sharing the accept loop.
     pub http_workers: usize,
     /// Turn on `geotorch-telemetry` recording at startup so `/metrics`
     /// has data. Leave `false` to manage telemetry yourself.
     pub enable_telemetry: bool,
+    /// Default per-request deadline in milliseconds, used when the
+    /// client sends no `X-Deadline-Ms` header. `0` disables the default
+    /// (requests then only time out if the client asks for one).
+    pub default_deadline_ms: u64,
+    /// Socket read/write timeout in milliseconds. A client that stalls
+    /// mid-request is answered with 408 (when still writable) and
+    /// disconnected, freeing the worker.
+    pub socket_timeout_ms: u64,
+    /// Largest accepted request body in bytes; larger bodies get 413.
+    pub max_body: usize,
+    /// Hard cap in milliseconds on the graceful drain: how long
+    /// [`Server::shutdown`] waits for in-flight batches to flush before
+    /// detaching a wedged model thread.
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -45,20 +66,36 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             http_workers: 4,
             enable_telemetry: true,
+            default_deadline_ms: 30_000,
+            socket_timeout_ms: 10_000,
+            max_body: 64 << 20,
+            drain_timeout_ms: 30_000,
         }
     }
 }
-
-/// Largest accepted request body (a guard against hostile
-/// `Content-Length`, not a tuning knob).
-const MAX_BODY: usize = 64 << 20;
 
 /// A running inference server: model owner threads plus an HTTP front.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    front: Arc<FrontState>,
     http_joins: Vec<JoinHandle<()>>,
     workers: BTreeMap<String, ModelWorker>,
+    drain_timeout: Duration,
+}
+
+/// Everything an HTTP worker needs, shared across the pool.
+struct FrontState {
+    clients: BTreeMap<String, ModelClient>,
+    /// Set by [`Server::begin_drain`]: `/healthz` flips to `draining`
+    /// (status 503) and predictions are refused, while the listener
+    /// stays up so load balancers see the state change.
+    draining: AtomicBool,
+    /// Set by shutdown proper: accept loops exit.
+    stop: Arc<AtomicBool>,
+    default_deadline: Option<Duration>,
+    socket_timeout: Duration,
+    max_body: usize,
 }
 
 impl Server {
@@ -85,24 +122,36 @@ impl Server {
             .local_addr()
             .map_err(|e| ServeError::Internal(format!("local_addr failed: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let front = Arc::new(FrontState {
+            clients,
+            draining: AtomicBool::new(false),
+            stop: Arc::clone(&shutdown),
+            default_deadline: match config.default_deadline_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            socket_timeout: Duration::from_millis(config.socket_timeout_ms.max(1)),
+            max_body: config.max_body,
+        });
         let mut http_joins = Vec::new();
         for i in 0..config.http_workers.max(1) {
             let listener = listener
                 .try_clone()
                 .map_err(|e| ServeError::Internal(format!("listener clone failed: {e}")))?;
-            let clients = clients.clone();
-            let shutdown = Arc::clone(&shutdown);
+            let front = Arc::clone(&front);
             let join = std::thread::Builder::new()
                 .name(format!("serve-http-{i}"))
-                .spawn(move || accept_loop(&listener, &clients, &shutdown))
+                .spawn(move || accept_loop(&listener, &front))
                 .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
             http_joins.push(join);
         }
         Ok(Server {
             addr,
             shutdown,
+            front,
             http_joins,
             workers,
+            drain_timeout: Duration::from_millis(config.drain_timeout_ms.max(1)),
         })
     }
 
@@ -116,13 +165,24 @@ impl Server {
         self.workers.keys().cloned().collect()
     }
 
-    /// Stop accepting connections, drain in-flight work, join every
-    /// thread.
+    /// Enter the draining state without stopping: `/healthz` reports
+    /// `draining` with status 503 (so load balancers stop routing here)
+    /// and new predictions are refused with 503, but connections are
+    /// still accepted and in-flight work completes. Call
+    /// [`Server::shutdown`] to finish.
+    pub fn begin_drain(&self) {
+        self.front.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop accepting connections, flush in-flight batches, join every
+    /// thread — giving up on a wedged model thread after the configured
+    /// drain hard timeout. Every admitted request is still answered.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
+        self.front.draining.store(true, Ordering::SeqCst);
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -134,10 +194,16 @@ impl Server {
         for join in self.http_joins.drain(..) {
             join.join().ok();
         }
-        // HTTP workers (and their ModelClient clones) are gone; dropping
-        // the workers disconnects each model channel and joins the
-        // owner threads.
-        std::mem::take(&mut self.workers);
+        // HTTP workers (and their ModelClient clones) are gone; drain
+        // each model queue and join the owner threads, spending at most
+        // the hard timeout across all of them.
+        let deadline = Instant::now() + self.drain_timeout;
+        for (_, worker) in std::mem::take(&mut self.workers) {
+            let left = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            worker.shutdown_within(left);
+        }
     }
 }
 
@@ -147,81 +213,194 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    clients: &BTreeMap<String, ModelClient>,
-    shutdown: &AtomicBool,
-) {
+fn accept_loop(listener: &TcpListener, front: &Arc<FrontState>) {
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if front.stop.load(Ordering::SeqCst) {
             return;
         }
-        let stream = match listener.accept() {
+        let mut stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => continue,
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if front.stop.load(Ordering::SeqCst) {
+            // Racing a shutdown: answer 503 instead of silently
+            // dropping a connection we already accepted. (The wake-up
+            // dummy connections land here too and ignore the bytes.)
+            write_response(
+                &mut stream,
+                503,
+                &[],
+                &error_json("server is shutting down"),
+            );
             return;
         }
-        handle_connection(stream, clients);
+        handle_connection(stream, front);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, clients: &BTreeMap<String, ModelClient>) {
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .ok();
-    stream
-        .set_write_timeout(Some(Duration::from_secs(10)))
-        .ok();
-    let (status, body) = match read_request(&mut stream) {
-        Ok((method, path, body)) => route(&method, &path, &body, clients),
-        Err(msg) => (400, error_json(&msg)),
+fn handle_connection(mut stream: TcpStream, front: &FrontState) {
+    stream.set_read_timeout(Some(front.socket_timeout)).ok();
+    stream.set_write_timeout(Some(front.socket_timeout)).ok();
+    let (status, headers, body) = match read_request(&mut stream, front.max_body) {
+        Ok(request) => route(&request, front),
+        Err(ReadError::Disconnected) => {
+            // The client is gone; nothing to write back, but the
+            // worker survives and the event is visible in /metrics.
+            geotorch_telemetry::count!("serve.error.disconnect", 1);
+            geotorch_telemetry::count!("serve.http.requests", 1);
+            return;
+        }
+        Err(ReadError::Respond(status, msg)) => (status, Vec::new(), error_json(&msg)),
     };
     geotorch_telemetry::count!("serve.http.requests", 1);
-    write_response(&mut stream, status, &body);
+    count_error_status(status);
+    write_response(&mut stream, status, &headers, &body);
 }
 
-fn route(
-    method: &str,
-    path: &str,
-    body: &str,
-    clients: &BTreeMap<String, ModelClient>,
-) -> (u16, String) {
-    match (method, path) {
-        ("GET", "/healthz") => {
-            let models = Value::Array(
-                clients
-                    .keys()
-                    .map(|name| Value::String(name.clone()))
-                    .collect(),
-            );
-            let payload = Value::Object(vec![
-                ("status".to_string(), "ok".to_value()),
-                ("models".to_string(), models),
-            ]);
-            (200, render(&payload))
-        }
-        ("GET", "/metrics") => (200, geotorch_telemetry::snapshot_json()),
-        ("POST", _) if path.starts_with("/predict/") => {
+/// Per-status error counters (`serve.error.*`), asserted by the
+/// error-path test suite.
+fn count_error_status(status: u16) {
+    match status {
+        400 => geotorch_telemetry::count!("serve.error.bad_request", 1),
+        404 => geotorch_telemetry::count!("serve.error.not_found", 1),
+        408 => geotorch_telemetry::count!("serve.error.slow_client", 1),
+        413 => geotorch_telemetry::count!("serve.error.too_large", 1),
+        429 => geotorch_telemetry::count!("serve.error.overloaded", 1),
+        500 => geotorch_telemetry::count!("serve.error.internal", 1),
+        503 => geotorch_telemetry::count!("serve.error.unavailable", 1),
+        504 => geotorch_telemetry::count!("serve.error.deadline", 1),
+        _ => {}
+    }
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    /// Parsed `X-Deadline-Ms` header, unvalidated.
+    deadline_ms: Option<String>,
+    body: String,
+}
+
+type Response = (u16, Vec<(&'static str, String)>, String);
+
+fn respond(status: u16, body: String) -> Response {
+    (status, Vec::new(), body)
+}
+
+fn status_for(err: &ServeError) -> u16 {
+    match err {
+        ServeError::ModelNotFound(_) => 404,
+        ServeError::BadRequest(_) => 400,
+        ServeError::PayloadTooLarge(_) => 413,
+        ServeError::Overloaded(_) => 429,
+        ServeError::DeadlineExceeded(_) => 504,
+        ServeError::Unavailable(_) => 503,
+        ServeError::ModelLoad(_) | ServeError::Internal(_) => 500,
+    }
+}
+
+fn route(request: &HttpRequest, front: &FrontState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(front),
+        ("GET", "/metrics") => respond(200, geotorch_telemetry::snapshot_json()),
+        ("POST", path) if path.starts_with("/predict/") => {
             let name = &path["/predict/".len()..];
-            match clients.get(name) {
-                None => (404, error_json(&ServeError::ModelNotFound(name.to_string()).to_string())),
-                Some(client) => match predict(client, name, body) {
-                    Ok(json) => (200, json),
-                    Err(ServeError::BadRequest(msg)) => (400, error_json(&msg)),
-                    Err(e) => (500, error_json(&e.to_string())),
+            if front.draining.load(Ordering::SeqCst) {
+                return respond(503, error_json("server is draining"));
+            }
+            match front.clients.get(name) {
+                None => respond(
+                    404,
+                    error_json(&ServeError::ModelNotFound(name.to_string()).to_string()),
+                ),
+                Some(client) => match predict(client, name, request, front) {
+                    Ok(json) => respond(200, json),
+                    Err(e) => {
+                        let status = status_for(&e);
+                        let mut headers = Vec::new();
+                        if status == 429 {
+                            // A full queue drains within a batch window
+                            // or two; tell clients when to come back.
+                            headers.push(("Retry-After", "1".to_string()));
+                        }
+                        (status, headers, error_json(&e.to_string()))
+                    }
                 },
             }
         }
-        _ => (404, error_json(&format!("no route for {method} {path}"))),
+        (method, path) => respond(404, error_json(&format!("no route for {method} {path}"))),
     }
 }
 
-fn predict(client: &ModelClient, name: &str, body: &str) -> Result<String, ServeError> {
-    let sample: Tensor = serde_json::from_str(body)
+/// Aggregate health: `draining` once a drain began, `degraded` while any
+/// model worker is dead or past its backpressure high watermark, `ok`
+/// otherwise. Per-model readiness rides along so an operator can see
+/// *which* model is the problem.
+fn healthz(front: &FrontState) -> Response {
+    let draining = front.draining.load(Ordering::SeqCst);
+    let mut degraded = false;
+    let mut model_status = Vec::new();
+    let mut queue_depth = 0usize;
+    for (name, client) in &front.clients {
+        let state = if client.has_died() {
+            degraded = true;
+            "dead"
+        } else if !client.is_alive() {
+            degraded = true;
+            "stopped"
+        } else if client.is_pressured() {
+            degraded = true;
+            "pressured"
+        } else {
+            "ok"
+        };
+        queue_depth += client.queue_depth();
+        model_status.push((name.clone(), state.to_value()));
+    }
+    let status = if draining {
+        "draining"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let models = Value::Array(
+        front
+            .clients
+            .keys()
+            .map(|name| Value::String(name.clone()))
+            .collect(),
+    );
+    let payload = Value::Object(vec![
+        ("status".to_string(), status.to_value()),
+        ("models".to_string(), models),
+        ("model_status".to_string(), Value::Object(model_status)),
+        ("queue_depth".to_string(), (queue_depth as u64).to_value()),
+    ]);
+    // Load balancers treat non-2xx as "stop routing here" — exactly
+    // what draining means. Degraded still serves.
+    let http_status = if draining { 503 } else { 200 };
+    (http_status, Vec::new(), render(&payload))
+}
+
+fn predict(
+    client: &ModelClient,
+    name: &str,
+    request: &HttpRequest,
+    front: &FrontState,
+) -> Result<String, ServeError> {
+    let deadline = match &request.deadline_ms {
+        None => front.default_deadline,
+        Some(raw) => {
+            let ms: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::BadRequest(format!("X-Deadline-Ms: `{raw}` is not a number"))
+            })?;
+            Some(Duration::from_millis(ms))
+        }
+    };
+    let sample: Tensor = serde_json::from_str(&request.body)
         .map_err(|e| ServeError::BadRequest(format!("tensor payload: {e}")))?;
-    let output = client.predict(sample)?;
+    let output = client.predict_with_deadline(sample, deadline)?;
     let mut fields = vec![("model".to_string(), name.to_value())];
     match output.to_value() {
         Value::Object(tensor_fields) => fields.extend(tensor_fields),
@@ -241,8 +420,30 @@ fn error_json(msg: &str) -> String {
     )]))
 }
 
-/// Read one request: `(method, path, body)`.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
+/// Why a request could not be read.
+enum ReadError {
+    /// The client vanished mid-request; there is no one to answer.
+    Disconnected,
+    /// Answer with this status and message, then close.
+    Respond(u16, String),
+}
+
+fn read_io_error(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        // A read timeout surfaces as WouldBlock (unix) or TimedOut:
+        // the client was too slow for the socket timeout.
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ReadError::Respond(408, "request timed out".to_string())
+        }
+        _ => ReadError::Disconnected,
+    }
+}
+
+/// Read one request (chaos hook: `serve.http.read`).
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, ReadError> {
+    if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.read") {
+        return Err(ReadError::Respond(500, format!("injected read fault: {msg}")));
+    }
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -250,11 +451,11 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), Stri
             break pos;
         }
         if buf.len() > 64 << 10 {
-            return Err("headers too large".to_string());
+            return Err(ReadError::Respond(400, "headers too large".to_string()));
         }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        let n = stream.read(&mut chunk).map_err(read_io_error)?;
         if n == 0 {
-            return Err("connection closed mid-request".to_string());
+            return Err(ReadError::Disconnected);
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -265,48 +466,94 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), Stri
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(format!("malformed request line `{request_line}`"));
+        return Err(ReadError::Respond(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
     }
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
     for line in lines {
         if let Some((key, value)) = line.split_once(':') {
-            if key.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            let key = key.trim();
+            if key.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ReadError::Respond(400, format!("bad content-length `{}`", value.trim()))
+                })?;
+            } else if key.eq_ignore_ascii_case("x-deadline-ms") {
+                deadline_ms = Some(value.trim().to_string());
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+    if content_length > max_body {
+        // Discard what the client already sent (bounded by 2x the limit)
+        // so closing the socket with unread bytes doesn't RST the
+        // connection before the 413 is delivered.
+        let mut remaining = content_length
+            .saturating_sub(buf.len() - (header_end + 4))
+            .min(2 * max_body);
+        while remaining > 0 {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining = remaining.saturating_sub(n),
+            }
+        }
+        return Err(ReadError::Respond(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body} byte limit"),
+        ));
     }
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        let n = stream.read(&mut chunk).map_err(read_io_error)?;
         if n == 0 {
-            return Err("connection closed mid-body".to_string());
+            return Err(ReadError::Disconnected);
         }
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
-    Ok((method, path, body))
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::Respond(400, "body is not utf-8".to_string()))?;
+    Ok(HttpRequest {
+        method,
+        path,
+        deadline_ms,
+        body,
+    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&'static str, String)],
+    body: &str,
+) {
+    if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.write") {
+        // Simulate a broken response path: close without writing.
+        let _ = msg;
+        return;
+    }
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
+    let mut headers = String::new();
+    for (key, value) in extra_headers {
+        headers.push_str(&format!("{key}: {value}\r\n"));
+    }
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n{headers}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes()).ok();

@@ -70,7 +70,18 @@ pub enum ServeError {
     ModelLoad(String),
     /// The request body was not a valid tensor payload.
     BadRequest(String),
-    /// The forward pass panicked or the worker is gone.
+    /// The request body exceeds the configured size limit (HTTP 413).
+    PayloadTooLarge(String),
+    /// Shed by admission control: the model's queue of
+    /// admitted-but-unanswered requests is at its bound (HTTP 429).
+    Overloaded(String),
+    /// The request's deadline expired before a prediction was produced
+    /// (HTTP 504). The request never occupies a batch slot once expired.
+    DeadlineExceeded(String),
+    /// The worker for this model is draining, has shut down, or died
+    /// (HTTP 503).
+    Unavailable(String),
+    /// The forward pass panicked or the worker dropped the request.
     Internal(String),
 }
 
@@ -80,6 +91,10 @@ impl std::fmt::Display for ServeError {
             ServeError::ModelNotFound(name) => write!(f, "no model named `{name}`"),
             ServeError::ModelLoad(msg) => write!(f, "model failed to load: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::PayloadTooLarge(msg) => write!(f, "payload too large: {msg}"),
+            ServeError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            ServeError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            ServeError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -129,6 +129,11 @@ fn load_checkpoint(
     name: &str,
     path: &Path,
 ) -> Result<(), ServeError> {
+    if let Err(msg) = geotorch_telemetry::fault_point!("serve.registry.load") {
+        return Err(ServeError::ModelLoad(format!(
+            "{name}: injected load fault: {msg}"
+        )));
+    }
     geotorch_core::checkpoint::load_named(model, name, path)
         .map_err(|e| ServeError::ModelLoad(format!("{name}: {e}")))
 }

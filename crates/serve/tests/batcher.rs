@@ -17,6 +17,7 @@ fn cpu_config(max_batch: usize, max_wait_ms: u64) -> BatchConfig {
         max_batch,
         max_wait_ms,
         device: Device::Cpu,
+        ..BatchConfig::default()
     }
 }
 
@@ -112,6 +113,7 @@ fn parallel_device_batches_match_cpu_sequential() {
         max_batch: 8,
         max_wait_ms: 20,
         device: Device::Parallel(4),
+        ..BatchConfig::default()
     };
     let worker = ModelWorker::spawn("fcn-par", config, || {
         Ok(Box::new(SegmenterServe(fcn())) as Box<dyn ServeModel>)

@@ -32,9 +32,11 @@ fn serve_config() -> ServeConfig {
             max_batch: 4,
             max_wait_ms: 2,
             device: Device::Cpu,
+            ..BatchConfig::default()
         },
         http_workers: 2,
         enable_telemetry: true,
+        ..ServeConfig::default()
     }
 }
 
@@ -166,6 +168,24 @@ fn train_checkpoint_serve_roundtrip() {
 
     server.shutdown();
     std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn disarmed_fault_points_add_no_measurable_latency_to_serving() {
+    // The serve path is sprinkled with fault points; with no plan
+    // installed each one must stay a single atomic load. A regression
+    // (lock, allocation, clock read) would blow this bound by orders of
+    // magnitude.
+    assert!(!geotorch_telemetry::fault::armed());
+    let started = std::time::Instant::now();
+    for _ in 0..1_000_000 {
+        let _ = geotorch_telemetry::fault_point!("serve.batcher.forward");
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(500),
+        "1M disarmed fault points took {:?}",
+        started.elapsed()
+    );
 }
 
 #[test]

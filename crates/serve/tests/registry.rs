@@ -12,6 +12,7 @@ fn cpu_config() -> BatchConfig {
         max_batch: 4,
         max_wait_ms: 5,
         device: Device::Cpu,
+        ..BatchConfig::default()
     }
 }
 

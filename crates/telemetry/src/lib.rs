@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
