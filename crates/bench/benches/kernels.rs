@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
 use geotorch_raster::glcm::{Glcm, GlcmDirection};
-use geotorch_tensor::ops::conv::{conv2d, conv2d_naive};
-use geotorch_tensor::ops::matmul::matmul_naive;
+use geotorch_tensor::ops::conv::{conv2d, conv2d_direct, conv2d_im2col, conv2d_naive};
+use geotorch_tensor::ops::matmul::{matmul_naive, simd_kernel_name};
 use geotorch_tensor::ops::pool::maxpool2d;
 use geotorch_tensor::{with_device, Device, Tensor};
 
@@ -48,6 +48,52 @@ fn bench_conv2d(c: &mut Criterion) {
             bench.iter(|| conv2d_naive(&x, &w, None, 1, 1));
         });
     }
+    group.finish();
+}
+
+/// The packed cache-blocked SIMD GEMM at the paper-relevant square
+/// sizes. The naive oracle is far too slow to sweep here (the `matmul`
+/// group covers it at ≤ 128); this group tracks the fast kernel's
+/// absolute cost so `results/` history shows GFLOP/s over time.
+fn bench_kernel_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_matmul");
+    group.sample_size(20);
+    eprintln!("kernel_matmul: SIMD tier = {}", simd_kernel_name());
+    for &n in &[256usize, 512, 1024] {
+        let mut r = rng();
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut r);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+/// Conv lowering ablation on fig9-shaped workloads: the direct
+/// shift-and-axpy path vs explicit im2col + GEMM on 3×3/stride-1, and
+/// the zero-copy implicit GEMM on 1×1.
+fn bench_kernel_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_conv2d");
+    group.sample_size(20);
+    for &(ch, size) in &[(3usize, 32usize), (13, 32), (8, 64)] {
+        let mut r = rng();
+        let x = Tensor::rand_uniform(&[4, ch, size, size], -1.0, 1.0, &mut r);
+        let w = Tensor::rand_uniform(&[16, ch, 3, 3], -1.0, 1.0, &mut r);
+        let label = format!("c{ch}_s{size}");
+        group.bench_with_input(BenchmarkId::new("direct", &label), &label, |bench, _| {
+            bench.iter(|| conv2d_direct(&x, &w, None, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", &label), &label, |bench, _| {
+            bench.iter(|| conv2d_im2col(&x, &w, None, 1, 1));
+        });
+    }
+    let mut r = rng();
+    let x = Tensor::rand_uniform(&[4, 16, 32, 32], -1.0, 1.0, &mut r);
+    let w = Tensor::rand_uniform(&[32, 16, 1, 1], -1.0, 1.0, &mut r);
+    group.bench_with_input(BenchmarkId::new("implicit_1x1", "c16_s32"), &0, |bench, _| {
+        bench.iter(|| conv2d(&x, &w, None, 1, 0));
+    });
     group.finish();
 }
 
@@ -132,5 +178,13 @@ fn bench_device(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_conv2d, bench_glcm, bench_device);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_kernel_matmul,
+    bench_kernel_conv2d,
+    bench_glcm,
+    bench_device
+);
 criterion_main!(benches);

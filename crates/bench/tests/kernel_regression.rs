@@ -1,0 +1,150 @@
+//! Performance-regression gate for the fast kernels, in the style of
+//! `alloc_regression.rs`: the blocked SIMD matmul must stay ≥ 3x faster
+//! than the naive oracle at 512×512 single-threaded, its packing
+//! buffers must recycle from the tensor pool at steady state, and the
+//! parallel band split must actually scale when more than one core is
+//! available.
+//!
+//! Wall-clock assertions are meaningless in unoptimised builds and
+//! noisy CI matrices, so the timed tests skip themselves under
+//! `debug_assertions`, under the chaos matrix (`GEOTORCH_CHAOS_SEED`),
+//! and — for the scaling test — on single-core runners. CI runs this
+//! file with `--release` in the bench job.
+
+use geotorch_tensor::ops::matmul::matmul_naive;
+use geotorch_tensor::{pool, with_device, Device, Tensor};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Minimum speedup of the blocked kernel over `matmul_naive` at
+/// 512×512×512 on one thread. Locally the packed AVX+FMA kernel
+/// measures 25–35x; 3x leaves room for slow CI steppings while still
+/// catching any fallback to a scalar path.
+const MIN_SPEEDUP_VS_NAIVE: f64 = 3.0;
+
+/// Steady-state pool-miss budget for a window of 16 large matmuls.
+/// After warm-up, pack buffers and outputs must all be recycled.
+const PACK_MISS_BUDGET: u64 = 4;
+
+/// Minimum parallel-over-serial speedup at 768³ when ≥ 2 cores exist.
+const MIN_PARALLEL_SPEEDUP: f64 = 1.3;
+
+fn perf_skip_reason() -> Option<&'static str> {
+    if cfg!(debug_assertions) {
+        return Some("unoptimised build");
+    }
+    if std::env::var("GEOTORCH_CHAOS_SEED").is_ok() {
+        return Some("chaos matrix run");
+    }
+    None
+}
+
+fn square(n: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng)
+}
+
+/// Fastest of `reps` timed runs — minimum, not mean, to shed scheduler
+/// noise on shared runners.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn blocked_matmul_is_at_least_3x_naive_at_512() {
+    if let Some(reason) = perf_skip_reason() {
+        eprintln!("skipping timed kernel gate: {reason}");
+        return;
+    }
+    let a = square(512, 1);
+    let b = square(512, 2);
+    let _ = a.matmul(&b); // warm caches, pool, and SIMD detection
+    let blocked = best_of(5, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    let naive = best_of(2, || {
+        std::hint::black_box(matmul_naive(&a, &b));
+    });
+    let speedup = naive / blocked;
+    eprintln!(
+        "matmul 512: blocked {:.2} ms, naive {:.2} ms → {speedup:.1}x (gate {MIN_SPEEDUP_VS_NAIVE}x)",
+        blocked * 1e3,
+        naive * 1e3
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP_VS_NAIVE,
+        "blocked matmul regressed: only {speedup:.2}x over naive at 512 \
+         (gate {MIN_SPEEDUP_VS_NAIVE}x)"
+    );
+}
+
+#[test]
+fn pack_buffers_recycle_from_the_pool() {
+    pool::set_enabled(true);
+    let a = square(512, 3);
+    let b = square(512, 4);
+    // Warm-up populates the pack-buffer and output size classes.
+    for _ in 0..3 {
+        let _ = a.matmul(&b);
+    }
+    let before = pool::stats();
+    for _ in 0..16 {
+        let _ = a.matmul(&b);
+    }
+    let after = pool::stats();
+    let misses = after.misses - before.misses;
+    let hits = after.hits - before.hits;
+    eprintln!("pack steady state: {hits} pool hits, {misses} misses (budget {PACK_MISS_BUDGET})");
+    assert!(
+        misses <= PACK_MISS_BUDGET,
+        "steady-state matmul packing allocated fresh buffers {misses} times \
+         (budget {PACK_MISS_BUDGET}, hits {hits}) — packing stopped recycling"
+    );
+    assert!(
+        hits >= 32,
+        "expected pack/output acquisitions to hit the pool, saw {hits} hits"
+    );
+}
+
+#[test]
+fn parallel_band_split_scales_with_cores() {
+    if let Some(reason) = perf_skip_reason() {
+        eprintln!("skipping parallel scaling gate: {reason}");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("skipping parallel scaling gate: single-core runner");
+        return;
+    }
+    let a = square(768, 5);
+    let b = square(768, 6);
+    let _ = a.matmul(&b);
+    let serial = best_of(3, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    let threads = cores.min(4);
+    let parallel = with_device(Device::Parallel(threads), || {
+        let _ = a.matmul(&b); // warm the worker pool
+        best_of(3, || {
+            std::hint::black_box(a.matmul(&b));
+        })
+    });
+    let speedup = serial / parallel;
+    eprintln!(
+        "matmul 768: serial {:.2} ms, {threads}-thread {:.2} ms → {speedup:.2}x (gate {MIN_PARALLEL_SPEEDUP}x)",
+        serial * 1e3,
+        parallel * 1e3
+    );
+    assert!(
+        speedup >= MIN_PARALLEL_SPEEDUP,
+        "parallel band split stopped scaling: {speedup:.2}x on {threads} threads \
+         (gate {MIN_PARALLEL_SPEEDUP}x)"
+    );
+}

@@ -1,10 +1,11 @@
 //! Finite-difference gradient checks for MaxPool, BatchNorm2d (train and
-//! eval) and ConvLSTM, run under both `Device::Cpu` and
+//! eval), ConvLSTM and the conv2d lowerings (im2col, direct
+//! large-plane 3×3/stride-1, and implicit-GEMM 1×1), run under both `Device::Cpu` and
 //! `Device::Parallel(4)` so the parallel kernel paths are verified against
 //! the same numeric gradients as the serial ones.
 
 use geotorch_nn::gradcheck::assert_gradients_close;
-use geotorch_nn::layers::{BatchNorm2d, ConvLstmCell, MaxPool2d};
+use geotorch_nn::layers::{BatchNorm2d, Conv2d, ConvLstmCell, MaxPool2d};
 use geotorch_nn::{Layer, Module, Var};
 use geotorch_tensor::{with_device, Device, Tensor};
 use rand::rngs::StdRng;
@@ -72,6 +73,71 @@ fn batchnorm_eval_gradients_both_devices() {
                 |p| bn.forward(&p[0]).square().mean_all(),
                 1e-3,
                 5e-3,
+            );
+        });
+    }
+}
+
+#[test]
+fn conv_3x3_stride1_gradients_both_devices() {
+    // Small plane: the dispatcher routes 3×3/stride-1 through im2col +
+    // blocked GEMM. Input and weights both checked.
+    for device in DEVICES {
+        with_device(device, || {
+            let mut rng = StdRng::seed_from_u64(14);
+            let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+            let x = Var::parameter(Tensor::rand_uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng));
+            let mut params = vec![x];
+            params.extend_from_slice(&conv.parameters());
+            assert_gradients_close(
+                &params,
+                |p| conv.forward(&p[0]).square().mean_all(),
+                1e-2,
+                2e-2,
+            );
+        });
+    }
+}
+
+#[test]
+fn conv_direct_3x3_large_plane_gradients_both_devices() {
+    // A 48×48 plane crosses DIRECT_CONV_MIN_PLANE, so the forward runs
+    // the direct shift-and-axpy kernel while the backward still goes
+    // through the im2col/col2im adjoints — this checks the two
+    // lowerings agree as a forward/adjoint pair on both devices.
+    // Weights and bias only: sweeping 48²-element inputs through
+    // central differences would dwarf the suite's runtime.
+    for device in DEVICES {
+        with_device(device, || {
+            let mut rng = StdRng::seed_from_u64(16);
+            let conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+            let x = Tensor::rand_uniform(&[1, 1, 48, 48], -1.0, 1.0, &mut rng);
+            assert_gradients_close(
+                &conv.parameters(),
+                |_| conv.forward(&Var::constant(x.clone())).square().mean_all(),
+                1e-2,
+                2e-2,
+            );
+        });
+    }
+}
+
+#[test]
+fn conv_1x1_implicit_gemm_gradients_both_devices() {
+    // 1×1/stride-1/no-pad routes through the zero-copy im2col reshape
+    // (implicit GEMM) in both the forward and the backward pass.
+    for device in DEVICES {
+        with_device(device, || {
+            let mut rng = StdRng::seed_from_u64(15);
+            let conv = Conv2d::new(3, 2, 1, 1, 0, &mut rng);
+            let x = Var::parameter(Tensor::rand_uniform(&[2, 3, 5, 5], -1.0, 1.0, &mut rng));
+            let mut params = vec![x];
+            params.extend_from_slice(&conv.parameters());
+            assert_gradients_close(
+                &params,
+                |p| conv.forward(&p[0]).square().mean_all(),
+                1e-2,
+                2e-2,
             );
         });
     }

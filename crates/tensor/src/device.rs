@@ -35,9 +35,14 @@
 //!   thread. Workers survive panics and return to the idle set, so the pool
 //!   stays usable for the next dispatch.
 //!
-//! Kernels guard the parallel path with [`PARALLEL_THRESHOLD`]: tensors
-//! with fewer elements than the threshold stay serial because even a
-//! wakeup costs more than the work itself.
+//! Elementwise kernels guard the parallel path with
+//! [`PARALLEL_THRESHOLD`]: tensors with fewer elements than the
+//! threshold stay serial because even a wakeup costs more than the work
+//! itself. The blocked GEMM and the conv lowerings carry their own
+//! flop-based cutoffs instead (`ops::matmul::GEMM_PARALLEL_FLOPS`,
+//! `ops::conv::CONV_PARALLEL_FLOPS`) — for those kernels the work per
+//! element scales with the inner/kernel dimensions, so an element count
+//! is the wrong predictor of when fan-out pays off.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -112,7 +117,8 @@ impl<T> Clone for SendPtr<T> {
 impl<T> Copy for SendPtr<T> {}
 
 /// Minimum number of elements before elementwise kernels bother going
-/// parallel; below this the dispatch overhead dominates.
+/// parallel; below this the dispatch overhead dominates. Matmul and
+/// conv use per-kernel flop thresholds instead (see module docs).
 pub const PARALLEL_THRESHOLD: usize = 16 * 1024;
 
 /// Hard cap on pool size; demand beyond this runs inline on callers.

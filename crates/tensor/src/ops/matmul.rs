@@ -1,14 +1,71 @@
 //! Matrix multiplication kernels.
+//!
+//! # The packed, cache-blocked GEMM
+//!
+//! [`Tensor::matmul`] runs a BLIS-style blocked kernel instead of a
+//! plain loop nest:
+//!
+//! * **Packing.** For each `KC`-deep panel, slices of `A` and `B` are
+//!   repacked into contiguous, microkernel-ordered tiles ([`pack_a`] /
+//!   [`pack_b`]) allocated from the tensor buffer pool — steady-state
+//!   packing is allocation-free, which the `kernel_regression` gate in
+//!   `geotorch-bench` enforces.
+//! * **Blocking.** The loop nest walks `NC`-wide column blocks, `KC`-deep
+//!   depth panels, and `MC`-tall row blocks, sized so an `A` block stays
+//!   L2-resident and the `B` micro-panel streams through L1 while a
+//!   [`MR`]`×`[`NR`] tile of `C` lives entirely in registers.
+//! * **SIMD.** The innermost microkernel is selected once per process by
+//!   runtime CPU detection: AVX+FMA (`std::arch` intrinsics, 2×8-lane
+//!   fused multiply-adds per row), AVX without FMA, or a portable
+//!   half-tile kernel the autovectorizer lowers to SSE. All variants
+//!   share the packed layout.
+//! * **Parallelism.** Products past [`GEMM_PARALLEL_FLOPS`] split the
+//!   longer output axis into microkernel-aligned bands, one
+//!   [`parallel_for`] task per band, so `Device::Parallel` distributes
+//!   blocked tiles instead of raw rows.
+//!
+//! # Numerics and the oracle contract
+//!
+//! Every kernel variant accumulates each output element's products in
+//! strictly ascending `p` order (the tile is loaded from `C`, updated,
+//! and stored back, so `KC` panel boundaries do not reassociate the
+//! sum). Rust never enables floating-point contraction on its own, so
+//! the only rounding difference against the retained [`matmul_naive`]
+//! oracle is the FMA microkernel's fused rounding. On inputs whose
+//! products and partial sums are exactly representable (the lattice
+//! inputs used by `tests/kernel_oracle.rs`) every variant is therefore
+//! **bit-identical** to the oracle; on arbitrary inputs the deltas stay
+//! within ordinary mul+add rounding of the same summation order.
 
-use crate::device::{parallel_for, SendPtr};
+use crate::device::{parallel_for, Device, SendPtr};
+use crate::pool::Buffer;
 use crate::Tensor;
 
+/// Microkernel tile height: rows of `C` updated per microkernel call.
+pub const MR: usize = 6;
+/// Microkernel tile width: columns of `C` updated per microkernel call
+/// (two 8-lane vectors).
+pub const NR: usize = 16;
+/// Row-block size: an `MC×KC` packed `A` block is sized for L2.
+pub const MC: usize = 120;
+/// Depth-panel size: `KC×NR` packed `B` micro-panels stream through L1.
+pub const KC: usize = 256;
+/// Column-block size: one packed `B` panel is at most `KC×NC`.
+pub const NC: usize = 1024;
+
+/// FLOP count (`2·m·n·k`) below which a product stays on the calling
+/// thread: waking pool workers costs more than the arithmetic. Above
+/// it, the longer output axis is split into tile-aligned bands.
+pub const GEMM_PARALLEL_FLOPS: usize = 2 * 1024 * 1024;
+
+/// `m·n·k` below which the packed path is skipped entirely: for tiny
+/// products the pack/tile bookkeeping dominates, so a simple `ipj`
+/// accumulation loop (same per-element order) wins.
+const GEMM_TINY_MACS: usize = 16 * 1024;
+
 impl Tensor {
-    /// 2-D matrix product `self [m,k] × other [k,n] → [m,n]`.
-    ///
-    /// Rows of the output are computed independently and fanned out across
-    /// the current device's threads. The inner loop is written `ikj` so the
-    /// innermost traversal is contiguous in both `other` and the output.
+    /// 2-D matrix product `self [m,k] × other [k,n] → [m,n]` via the
+    /// packed, cache-blocked SIMD kernel (see the module docs).
     ///
     /// # Panics
     /// If either operand is not 2-D or the inner dimensions differ.
@@ -24,36 +81,9 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let a = self.as_slice();
-        let b = other.as_slice();
-        // The kernel accumulates (and skips zero lhs entries), so the
-        // output must start zeroed.
+        // The kernels accumulate `C += A·B`, so the output starts zeroed.
         let mut out = crate::pool::alloc_zeroed(m * n);
-        // Split output rows into bands; each band is an independent task.
-        let band = 16usize.max(if m > 0 { m.div_ceil(64) } else { 1 });
-        let bands = m.div_ceil(band.max(1)).max(1);
-        let out_ptr = SendPtr(out.as_mut_ptr());
-        parallel_for(bands, |bi| {
-            let row_start = bi * band;
-            let row_end = ((bi + 1) * band).min(m);
-            // SAFETY: bands touch disjoint row ranges of `out`.
-            let out = unsafe {
-                std::slice::from_raw_parts_mut({ &out_ptr }.0.add(row_start * n), (row_end - row_start) * n)
-            };
-            for (local_i, i) in (row_start..row_end).enumerate() {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[local_i * n..(local_i + 1) * n];
-                for (p, &a_ip) in a_row.iter().enumerate() {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ip * b_pj;
-                    }
-                }
-            }
-        });
+        gemm(self.as_slice(), other.as_slice(), &mut out, m, n, k);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -69,7 +99,9 @@ impl Tensor {
     }
 }
 
-/// Naive triple-loop reference used by tests and the kernel ablation bench.
+/// Naive triple-loop reference used as the test oracle and by the kernel
+/// ablation bench. Accumulates each element's products in ascending `p`
+/// order — the order every fast kernel reproduces.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let n = b.shape()[1];
@@ -84,6 +116,320 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
         }
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+// ------------------------------------------------------------ dispatch
+
+/// The SIMD tier the microkernel runs at, detected once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Simd {
+    /// AVX 8-lane vectors with fused multiply-add (`vfmadd231ps`).
+    Fma,
+    /// AVX 8-lane vectors, separate multiply and add.
+    Avx,
+    /// Autovectorized half-tile fallback (SSE on x86, NEON elsewhere).
+    Portable,
+}
+
+/// Runtime CPU-feature detection, memoized for the process lifetime.
+pub(crate) fn simd() -> Simd {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static TIER: OnceLock<Simd> = OnceLock::new();
+        *TIER.get_or_init(|| {
+            if std::is_x86_feature_detected!("avx") && std::is_x86_feature_detected!("fma") {
+                Simd::Fma
+            } else if std::is_x86_feature_detected!("avx") {
+                Simd::Avx
+            } else {
+                Simd::Portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Simd::Portable
+    }
+}
+
+/// Name of the detected microkernel tier (for benches and reports).
+pub fn simd_kernel_name() -> &'static str {
+    match simd() {
+        Simd::Fma => "avx+fma",
+        Simd::Avx => "avx",
+        Simd::Portable => "portable",
+    }
+}
+
+/// `out[m,n] += a[m,k] × b[k,n]`. `out` must hold `m·n` elements (it is
+/// zeroed by [`Tensor::matmul`], so the net effect there is `A·B`).
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= GEMM_TINY_MACS {
+        gemm_tiny(a, b, out, m, n, k);
+        return;
+    }
+    let threads = Device::current().threads();
+    let c = SendPtr(out.as_mut_ptr());
+    if threads > 1 && 2 * m * n * k >= GEMM_PARALLEL_FLOPS {
+        // Split the longer output axis into tile-aligned bands; each
+        // band is an independent serial blocked GEMM over disjoint
+        // rows/columns of C.
+        if m >= n {
+            let band = m.div_ceil(threads).div_ceil(MR) * MR;
+            parallel_for(m.div_ceil(band), |bi| {
+                let r0 = bi * band;
+                let r1 = (r0 + band).min(m);
+                gemm_block(a, b, c, (r0, r1), (0, n), k, n);
+            });
+        } else {
+            let band = n.div_ceil(threads).div_ceil(NR) * NR;
+            parallel_for(n.div_ceil(band), |bi| {
+                let c0 = bi * band;
+                let c1 = (c0 + band).min(n);
+                gemm_block(a, b, c, (0, m), (c0, c1), k, n);
+            });
+        }
+    } else {
+        gemm_block(a, b, c, (0, m), (0, n), k, n);
+    }
+}
+
+/// Tiny-product path: plain `ipj` accumulation, no packing. Same
+/// per-element accumulation order as the blocked path and the oracle.
+fn gemm_tiny(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Serial blocked GEMM over `C[rows, cols] += A[rows, :] × B[:, cols]`.
+/// Pack buffers come from the tensor pool, so repeated products recycle
+/// them instead of touching the heap.
+fn gemm_block(
+    a: &[f32],
+    b: &[f32],
+    c: SendPtr<f32>,
+    rows: (usize, usize),
+    cols: (usize, usize),
+    k: usize,
+    ldc: usize,
+) {
+    let kern = simd();
+    let (r0, r1) = rows;
+    let (c0, c1) = cols;
+    let a_rows = (r1 - r0).min(MC).div_ceil(MR) * MR;
+    let b_cols = (c1 - c0).min(NC).div_ceil(NR) * NR;
+    let kc_max = k.min(KC);
+    let mut apack = Buffer::uninit(a_rows * kc_max);
+    let mut bpack = Buffer::uninit(kc_max * b_cols);
+    let ap = apack.as_mut_slice();
+    let bp = bpack.as_mut_slice();
+    let mut jc = c0;
+    while jc < c1 {
+        let nc = NC.min(c1 - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, bp, pc, jc, kc, nc, ldc);
+            let mut ic = r0;
+            while ic < r1 {
+                let mc = MC.min(r1 - ic);
+                pack_a(a, ap, ic, pc, mc, kc, k);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let pb = &bp[(jr / NR) * (kc * NR)..][..kc * NR];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let pa = &ap[(ir / MR) * (kc * MR)..][..kc * MR];
+                        // SAFETY: the tile covers rows ic+ir..ic+ir+mr and
+                        // columns jc+jr..jc+jr+nr, all inside this band's
+                        // disjoint region of C.
+                        let ctile = unsafe { c.0.add((ic + ir) * ldc + jc + jr) };
+                        if mr == MR && nr == NR {
+                            match kern {
+                                #[cfg(target_arch = "x86_64")]
+                                // SAFETY: tier detected at runtime; full
+                                // tile bounds as above.
+                                Simd::Fma => unsafe {
+                                    mk_fma(pa.as_ptr(), pb.as_ptr(), kc, ctile, ldc)
+                                },
+                                #[cfg(target_arch = "x86_64")]
+                                // SAFETY: as for `mk_fma`.
+                                Simd::Avx => unsafe {
+                                    mk_avx(pa.as_ptr(), pb.as_ptr(), kc, ctile, ldc)
+                                },
+                                _ => mk_portable(pa, pb, kc, ctile, ldc),
+                            }
+                        } else {
+                            mk_edge(pa, pb, kc, ctile, ldc, mr, nr);
+                        }
+                    }
+                }
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Pack `A[ic.., pc..]` (`mc×kc`) into `MR`-row micro-panels laid out
+/// `[row_block][p][r]`, zero-padding the ragged final block so the full
+/// microkernel never reads out of bounds.
+fn pack_a(a: &[f32], ap: &mut [f32], ic: usize, pc: usize, mc: usize, kc: usize, lda: usize) {
+    for ib in 0..mc.div_ceil(MR) {
+        let dst = &mut ap[ib * kc * MR..][..kc * MR];
+        let rows = MR.min(mc - ib * MR);
+        for p in 0..kc {
+            let tile = &mut dst[p * MR..(p + 1) * MR];
+            for (r, slot) in tile[..rows].iter_mut().enumerate() {
+                *slot = a[(ic + ib * MR + r) * lda + pc + p];
+            }
+            tile[rows..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `B[pc.., jc..]` (`kc×nc`) into `NR`-column micro-panels laid out
+/// `[col_block][p][lane]`, zero-padding ragged lanes.
+fn pack_b(b: &[f32], bp: &mut [f32], pc: usize, jc: usize, kc: usize, nc: usize, ldb: usize) {
+    for jb in 0..nc.div_ceil(NR) {
+        let dst = &mut bp[jb * kc * NR..][..kc * NR];
+        let cols = NR.min(nc - jb * NR);
+        for p in 0..kc {
+            let src = &b[(pc + p) * ldb + jc + jb * NR..][..cols];
+            dst[p * NR..p * NR + cols].copy_from_slice(src);
+            dst[p * NR + cols..(p + 1) * NR].fill(0.0);
+        }
+    }
+}
+
+/// AVX+FMA full-tile microkernel: `MR×NR` tile of `C` held in twelve
+/// 8-lane registers, one fused multiply-add pair per packed `A` scalar.
+///
+/// # Safety
+/// Requires AVX and FMA (checked by [`simd`]); `pa`/`pb` must hold
+/// `kc·MR` / `kc·NR` packed elements and `c` an `MR×NR` tile with row
+/// stride `ldc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,fma")]
+unsafe fn mk_fma(pa: *const f32, pb: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_ps(c.add(r * ldc));
+        row[1] = _mm256_loadu_ps(c.add(r * ldc + 8));
+    }
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(pb.add(p * NR));
+        let b1 = _mm256_loadu_ps(pb.add(p * NR + 8));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&*pa.add(p * MR + r));
+            row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(c.add(r * ldc), row[0]);
+        _mm256_storeu_ps(c.add(r * ldc + 8), row[1]);
+    }
+}
+
+/// AVX full-tile microkernel without FMA: separate multiply and add, so
+/// its rounding matches the scalar oracle bit-for-bit.
+///
+/// # Safety
+/// Requires AVX; same contracts as [`mk_fma`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn mk_avx(pa: *const f32, pb: *const f32, kc: usize, c: *mut f32, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_ps(c.add(r * ldc));
+        row[1] = _mm256_loadu_ps(c.add(r * ldc + 8));
+    }
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(pb.add(p * NR));
+        let b1 = _mm256_loadu_ps(pb.add(p * NR + 8));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&*pa.add(p * MR + r));
+            row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(a, b0));
+            row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(a, b1));
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(c.add(r * ldc), row[0]);
+        _mm256_storeu_ps(c.add(r * ldc + 8), row[1]);
+    }
+}
+
+/// Portable full-tile microkernel: the tile is processed in two 8-lane
+/// halves so the live accumulators fit the 16 SSE registers, and the
+/// plain mul+add loops autovectorize on any target.
+fn mk_portable(pa: &[f32], pb: &[f32], kc: usize, c: *mut f32, ldc: usize) {
+    const H: usize = NR / 2;
+    for half in 0..2 {
+        let off = half * H;
+        let mut acc = [[0.0f32; H]; MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            for (l, v) in row.iter_mut().enumerate() {
+                // SAFETY: full-tile call — all MR×NR elements in bounds.
+                *v = unsafe { *c.add(r * ldc + off + l) };
+            }
+        }
+        for p in 0..kc {
+            let bv = &pb[p * NR + off..p * NR + off + H];
+            let av = &pa[p * MR..(p + 1) * MR];
+            for (row, &a) in acc.iter_mut().zip(av) {
+                for (v, &bl) in row.iter_mut().zip(bv) {
+                    *v += a * bl;
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            for (l, &v) in row.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { *c.add(r * ldc + off + l) = v };
+            }
+        }
+    }
+}
+
+/// Ragged-edge microkernel for partial `mr×nr` tiles. Each valid row
+/// still accumulates a full `NR`-lane stripe (the packed panels are
+/// zero-padded, so the extra lanes are dead work the autovectorizer
+/// keeps in vectors); only the `nr` valid lanes are stored back.
+fn mk_edge(pa: &[f32], pb: &[f32], kc: usize, c: *mut f32, ldc: usize, mr: usize, nr: usize) {
+    for r in 0..mr {
+        let mut acc = [0.0f32; NR];
+        for (l, v) in acc[..nr].iter_mut().enumerate() {
+            // SAFETY: r < mr and l < nr keep the access inside the valid
+            // corner of the C tile.
+            *v = unsafe { *c.add(r * ldc + l) };
+        }
+        for p in 0..kc {
+            let a = pa[p * MR + r];
+            for (v, &bl) in acc.iter_mut().zip(&pb[p * NR..(p + 1) * NR]) {
+                *v += a * bl;
+            }
+        }
+        for (l, &v) in acc[..nr].iter().enumerate() {
+            // SAFETY: as above.
+            unsafe { *c.add(r * ldc + l) = v };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +463,20 @@ mod tests {
     }
 
     #[test]
+    fn packed_path_matches_naive_past_block_edges() {
+        // Big enough to leave the tiny path and cross MR/NR/MC/KC edges.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for &(m, k, n) in &[(MC + 3, KC + 5, NR + 1), (64, 64, 64), (MR, 1, NR)] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            assert!(
+                a.matmul(&b).allclose(&matmul_naive(&a, &b), 1e-3),
+                "mismatch at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_matches_serial() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(19);
         let a = Tensor::rand_uniform(&[64, 32], -1.0, 1.0, &mut rng);
@@ -124,6 +484,18 @@ mod tests {
         let serial = a.matmul(&b);
         let parallel = with_device(Device::Parallel(4), || a.matmul(&b));
         assert!(serial.allclose(&parallel, 1e-5));
+    }
+
+    #[test]
+    fn parallel_band_split_is_bit_identical() {
+        // Large enough to cross GEMM_PARALLEL_FLOPS: band splitting must
+        // not change any element's accumulation order.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a = Tensor::rand_uniform(&[160, 130], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[130, 96], -1.0, 1.0, &mut rng);
+        let serial = a.matmul(&b);
+        let parallel = with_device(Device::Parallel(4), || a.matmul(&b));
+        assert_eq!(serial.as_slice(), parallel.as_slice());
     }
 
     #[test]
@@ -146,5 +518,11 @@ mod tests {
         assert_eq!(a.matmul(&b).shape(), &[0, 3]);
         let c = Tensor::ones(&[1, 1]).matmul(&Tensor::full(&[1, 1], 2.0));
         assert_eq!(c.item(), 2.0);
+    }
+
+    #[test]
+    fn simd_tier_is_detected_once() {
+        assert_eq!(simd(), simd());
+        assert!(!simd_kernel_name().is_empty());
     }
 }
