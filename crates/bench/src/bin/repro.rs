@@ -576,13 +576,18 @@ fn fig9(quick: bool, threads: Option<usize>) -> String {
              speedup; the `kernel_regression` gate enforces it whenever ≥ 2 cores are \
              available. The kernel-level speedup that *is* visible on any host is the \
              blocked SIMD matmul ({} tier) vs the seed's naive loops — see \
-             DESIGN.md §11.",
+             DESIGN.md §11. The serving reports (`results/serve_*.md`) embed this \
+             host core count too: their replica-scaling numbers use sleep-cost \
+             models, so they hold even here, but absolute req/s figures are only \
+             comparable across hosts with matching core counts (DESIGN.md §12).",
             parallel.threads(),
             geotorch_tensor::ops::matmul::simd_kernel_name(),
         )
     } else {
         format!(
-            "\n\n_Host: {host_cores} cores, matmul SIMD tier `{}`._",
+            "\n\n_Host: {host_cores} cores, matmul SIMD tier `{}`. The serving \
+             reports (`results/serve_*.md`) embed the same core count for \
+             cross-host comparison._",
             geotorch_tensor::ops::matmul::simd_kernel_name()
         )
     };

@@ -18,20 +18,35 @@
 //! admitted-request latency to `results/serve_overload.md`; it exits
 //! non-zero if nothing was shed or any request saw a status other than
 //! 200/429 — the CI chaos job's check that load-shedding actually
-//! protects admitted traffic.
+//! protects admitted traffic. The overload run also measures replica
+//! sharding with a fixed-cost (sleep) model — independent of host core
+//! count — and fails unless 4 replicas sustain at least 2x the
+//! throughput of 1 replica at equal-or-lower p99.
+//!
+//! With `--storm` it opens thousands of idle connections that stall
+//! mid-headers (a slow-loris swarm) and verifies that live `/predict`
+//! and `/healthz` probes still answer promptly — the event-driven
+//! front's reason to exist. Results go to `results/serve_storm.md`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 
 use geotorch_bench::{markdown_table, LatencySummary};
 use geotorch_models::raster::SatCnn;
-use geotorch_serve::{BatchConfig, Registry, Server, ServeConfig};
+use geotorch_nn::{Module, Var};
+use geotorch_serve::{BatchConfig, Registry, ServeConfig, ServeModel, Server};
 use geotorch_tensor::{Device, Tensor};
 
 const MODEL: &str = "satcnn";
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn registry() -> Registry {
     let mut registry = Registry::new();
@@ -40,6 +55,28 @@ fn registry() -> Registry {
         SatCnn::new(3, 32, 32, 10, &mut rng)
     });
     registry
+}
+
+/// A model whose forward costs a fixed wall-clock sleep instead of CPU:
+/// replica scaling measured with it is independent of host core count
+/// (N sleeping replica threads overlap even on one core).
+struct SleepModel {
+    ms: u64,
+}
+
+impl Module for SleepModel {
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+
+    fn set_training(&self, _training: bool) {}
+}
+
+impl ServeModel for SleepModel {
+    fn predict(&self, batch: &Var) -> Var {
+        std::thread::sleep(Duration::from_millis(self.ms));
+        batch.clone()
+    }
 }
 
 /// One blocking HTTP POST over a fresh connection; returns the status.
@@ -64,42 +101,13 @@ struct RunResult {
     latency: LatencySummary,
 }
 
-/// Drive `clients` threads × `requests` requests against a freshly
-/// started server with the given batching limit.
-fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
-    let config = ServeConfig {
-        batch: BatchConfig {
-            max_batch,
-            max_wait_ms: 2,
-            device: Device::parallel(),
-            // Closed-loop clients must never be shed in the throughput
-            // comparison; admission control gets its own run.
-            queue_bound: (clients * 4).max(64),
-        },
-        http_workers: clients.max(1),
-        enable_telemetry: false,
-        default_deadline_ms: 60_000,
-        ..ServeConfig::default()
-    };
-    let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
-    let addr = server.addr();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
-    let payload = serde_json::to_string(&sample).expect("serialize sample");
-    let path = format!("/predict/{MODEL}");
-
-    // Warm up the kernel pool and the per-thread scratch space so the
-    // timed window measures steady state.
-    for _ in 0..2 {
-        assert_eq!(post(addr, &path, &payload), 200, "warm-up request failed");
-    }
-
+/// Drive `clients` closed-loop threads × `requests` requests against an
+/// already-started server.
+fn drive(addr: SocketAddr, path: &str, payload: &str, clients: usize, requests: usize) -> RunResult {
     let started = Instant::now();
     let latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
-                let payload = payload.as_str();
-                let path = path.as_str();
                 scope.spawn(move || {
                     let mut latencies = Vec::with_capacity(requests);
                     for _ in 0..requests {
@@ -118,15 +126,80 @@ fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
             .collect()
     });
     let wall = started.elapsed().as_secs_f64();
-    server.shutdown();
     RunResult {
         throughput: latencies.len() as f64 / wall,
         latency: LatencySummary::from_secs(&latencies),
     }
 }
 
+/// Drive `clients` threads × `requests` requests against a freshly
+/// started server with the given batching limit.
+fn run(max_batch: usize, clients: usize, requests: usize) -> RunResult {
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+            // Closed-loop clients must never be shed in the throughput
+            // comparison; admission control gets its own run.
+            queue_bound: (clients * 4).max(64),
+            replicas: 1,
+        },
+        http_workers: clients.max(1),
+        enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
+    let addr = server.addr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+    let payload = serde_json::to_string(&sample).expect("serialize sample");
+    let path = format!("/predict/{MODEL}");
+
+    // Warm up the kernel pool and the per-thread scratch space so the
+    // timed window measures steady state.
+    for _ in 0..2 {
+        assert_eq!(post(addr, &path, &payload), 200, "warm-up request failed");
+    }
+    let result = drive(addr, &path, &payload, clients, requests);
+    server.shutdown();
+    result
+}
+
+/// Closed-loop throughput of a fixed-cost model served with `replicas`
+/// replica threads.
+fn run_replicas(replicas: usize, clients: usize, requests: usize) -> RunResult {
+    let mut registry = Registry::new();
+    registry.register("sleeper", None, || Box::new(SleepModel { ms: 8 }));
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch: 1,
+            max_wait_ms: 0,
+            device: Device::parallel(),
+            queue_bound: (clients * 4).max(64),
+            replicas,
+        },
+        http_workers: clients.max(1),
+        enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry, config).expect("server starts");
+    let addr = server.addr();
+    let payload =
+        serde_json::to_string(&Tensor::from_vec(vec![0.5], &[1])).expect("serialize sample");
+    for _ in 0..2 {
+        assert_eq!(post(addr, "/predict/sleeper", &payload), 200, "warm-up failed");
+    }
+    let result = drive(addr, "/predict/sleeper", &payload, clients, requests);
+    server.shutdown();
+    result
+}
+
 /// Drive waves of `wave_size` one-shot requests against a server whose
-/// admission bound is `bound`, recording every status and latency.
+/// admission bound is `bound`, recording every status and latency; then
+/// measure replica-sharding scaling with the fixed-cost model.
 fn run_overload(quick: bool) -> Result<String, String> {
     let bound = 8usize;
     let wave_size = 3 * bound;
@@ -137,6 +210,7 @@ fn run_overload(quick: bool) -> Result<String, String> {
             max_wait_ms: 2,
             device: Device::parallel(),
             queue_bound: bound,
+            replicas: 1,
         },
         // Sockets must never be the bottleneck: admission control, not
         // accept capacity, has to do the shedding.
@@ -215,8 +289,37 @@ fn run_overload(quick: bool) -> Result<String, String> {
         &["scenario", "served", "shed rate", "admitted p50 ms", "admitted p99 ms"],
         &rows,
     );
+
+    // Replica sharding: a fixed-cost model makes the comparison about
+    // the routing layer, not the host's arithmetic throughput.
+    let clients = 16;
+    let requests = if quick { 8 } else { 25 };
+    eprintln!("replica scaling: {clients} clients x {requests} requests, 1 vs 4 replicas ...");
+    let one = run_replicas(1, clients, requests);
+    let four = run_replicas(4, clients, requests);
+    let scaling = four.throughput / one.throughput.max(1e-9);
+    let replica_rows = vec![
+        vec![
+            "1 replica".to_string(),
+            format!("{:.1}", one.throughput),
+            format!("{:.2}", one.latency.p50_ms),
+            format!("{:.2}", one.latency.p99_ms),
+        ],
+        vec![
+            "4 replicas".to_string(),
+            format!("{:.1}", four.throughput),
+            format!("{:.2}", four.latency.p50_ms),
+            format!("{:.2}", four.latency.p99_ms),
+        ],
+    ];
+    let replica_table = markdown_table(
+        &["replicas (8 ms fixed-cost model)", "req/s", "p50 ms", "p99 ms"],
+        &replica_rows,
+    );
+
+    let cores = host_cores();
     let report = format!(
-        "## Admission control under overload — shed rate and admitted latency\n\n{table}\n_{waves} waves; shed = HTTP 429 with Retry-After; every other request answered 200_\n"
+        "## Admission control under overload — shed rate and admitted latency\n\n{table}\n_{waves} waves; shed = HTTP 429 with Retry-After; every other request answered 200_\n\n## Replica sharding — least-loaded routing across model replicas\n\n{replica_table}\n_4-replica/1-replica speedup: {scaling:.2}x ({clients} closed-loop clients; host cores: {cores})_\n"
     );
     println!("{report}");
     std::fs::create_dir_all("results").ok();
@@ -235,6 +338,114 @@ fn run_overload(quick: bool) -> Result<String, String> {
     if admitted.is_empty() {
         return Err("overload admitted nothing — shedding everything protects no one".to_string());
     }
+    if scaling < 2.0 {
+        return Err(format!(
+            "4 replicas sustained only {scaling:.2}x the 1-replica throughput (need >= 2x)"
+        ));
+    }
+    if four.latency.p99_ms > one.latency.p99_ms {
+        return Err(format!(
+            "4-replica p99 regressed: {:.2} ms vs {:.2} ms with 1 replica",
+            four.latency.p99_ms, one.latency.p99_ms
+        ));
+    }
+    Ok(report)
+}
+
+/// A slow-loris swarm: `idle` connections stall mid-headers while live
+/// probes measure whether anyone else still gets served.
+fn run_storm(quick: bool) -> Result<String, String> {
+    let idle = if quick { 500 } else { 2000 };
+    let probes = if quick { 25 } else { 100 };
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+            queue_bound: 64,
+            replicas: 1,
+        },
+        http_workers: 4,
+        enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        // Long enough that the swarm outlives the whole probe window.
+        socket_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry(), config).expect("server starts");
+    let addr = server.addr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+    let payload = serde_json::to_string(&sample).expect("serialize sample");
+    let path = format!("/predict/{MODEL}");
+    assert_eq!(post(addr, &path, &payload), 200, "warm-up request failed");
+
+    eprintln!("opening {idle} stalled connections ...");
+    let mut swarm = Vec::with_capacity(idle);
+    for i in 0..idle {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => return Err(format!("stalled connection {i} failed to open: {e}")),
+        };
+        // A partial request line, then silence: the connection parks in
+        // the event loop's buffer, never reaching a responder thread.
+        stream.write_all(b"POST /predict/").ok();
+        swarm.push(stream);
+    }
+
+    let mut latencies = Vec::with_capacity(probes);
+    for i in 0..probes {
+        let sent = Instant::now();
+        let status = if i % 5 == 0 {
+            // Every fifth probe checks the health endpoint instead.
+            let mut stream = TcpStream::connect(addr).map_err(|e| format!("probe connect: {e}"))?;
+            stream
+                .write_all(
+                    format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                        .as_bytes(),
+                )
+                .ok();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).ok();
+            response
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0)
+        } else {
+            post(addr, &path, &payload)
+        };
+        if status != 200 {
+            return Err(format!("probe {i} got status {status} under the storm"));
+        }
+        latencies.push(sent.elapsed().as_secs_f64());
+    }
+    drop(swarm);
+    server.shutdown();
+
+    let summary = LatencySummary::from_secs(&latencies);
+    let cores = host_cores();
+    let table = markdown_table(
+        &["stalled connections", "live probes", "p50 ms", "p99 ms"],
+        &[vec![
+            format!("{idle}"),
+            format!("{probes}"),
+            format!("{:.2}", summary.p50_ms),
+            format!("{:.2}", summary.p99_ms),
+        ]],
+    );
+    let report = format!(
+        "## Slow-loris storm — live traffic under {idle} stalled connections\n\n{table}\n_every probe answered 200; host cores: {cores}_\n"
+    );
+    println!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/serve_storm.md", &report).ok();
+    if summary.p99_ms > 2_000.0 {
+        return Err(format!(
+            "probe p99 {:.0} ms under the storm — stalled connections are delaying live traffic",
+            summary.p99_ms
+        ));
+    }
     Ok(report)
 }
 
@@ -243,6 +454,13 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--overload") {
         if let Err(msg) = run_overload(quick) {
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--storm") {
+        if let Err(msg) = run_storm(quick) {
             eprintln!("FAIL: {msg}");
             std::process::exit(1);
         }
@@ -287,8 +505,9 @@ fn main() {
         &rows,
     );
     let speedup = results[1].throughput / results[0].throughput.max(1e-9);
+    let cores = host_cores();
     let report = format!(
-        "## Serving throughput — dynamic micro-batching vs per-request forwards\n\n{table}\n_batched/unbatched speedup: {speedup:.2}x ({clients} clients, {requests} requests each)_\n"
+        "## Serving throughput — dynamic micro-batching vs per-request forwards\n\n{table}\n_batched/unbatched speedup: {speedup:.2}x ({clients} clients, {requests} requests each; host cores: {cores})_\n"
     );
     println!("{report}");
     std::fs::create_dir_all("results").ok();

@@ -58,6 +58,7 @@ fn start_server(drain_timeout_ms: u64) -> Server {
             max_wait_ms: 1,
             device: Device::Cpu,
             queue_bound: BOUND,
+            replicas: 1,
         },
         // Enough HTTP workers that sockets are never the bottleneck:
         // admission control, not accept capacity, must do the shedding.
@@ -221,6 +222,57 @@ fn overload_sheds_429_admitted_meet_deadlines_and_health_recovers() {
         std::thread::sleep(Duration::from_millis(5));
     }
     server.shutdown();
+}
+
+/// Closed-loop throughput of a fixed-cost model across `replicas`
+/// replica threads, measured directly against the batcher (no HTTP).
+fn replica_throughput(replicas: usize) -> f64 {
+    use geotorch_serve::ModelWorker;
+    let config = BatchConfig {
+        max_batch: 1,
+        max_wait_ms: 0,
+        device: Device::Cpu,
+        queue_bound: 64,
+        replicas,
+    };
+    let worker =
+        ModelWorker::spawn("fixed", config, || Ok(Box::new(FixedCost(8)))).expect("spawn");
+    let client = worker.client();
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 12;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let client = client.clone();
+            scope.spawn(move || {
+                for _ in 0..REQUESTS {
+                    let sample = Tensor::from_vec(vec![1.0], &[1]);
+                    let out = client
+                        .predict_with_deadline(sample, Some(Duration::from_secs(30)))
+                        .expect("predict");
+                    assert_eq!(out.at(&[0]), 2.0, "fixed-cost model doubles");
+                }
+            });
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    worker.shutdown();
+    (CLIENTS * REQUESTS) as f64 / wall
+}
+
+/// The replica-sharding acceptance bar: 4 replicas of a fixed-cost
+/// (sleeping, not CPU-bound) model must sustain at least 2x the
+/// throughput of 1 replica — true even on a single-core host, because
+/// sleeping replica threads overlap.
+#[test]
+fn four_replicas_double_fixed_cost_throughput() {
+    let _g = serial();
+    let one = replica_throughput(1);
+    let four = replica_throughput(4);
+    assert!(
+        four >= 2.0 * one,
+        "4 replicas sustained {four:.1} req/s vs {one:.1} req/s with 1 — need >= 2x"
+    );
 }
 
 #[test]

@@ -1,13 +1,15 @@
-//! The dynamic micro-batching scheduler.
+//! The dynamic micro-batching scheduler, sharded across model replicas.
 //!
-//! Each served model is owned by one dedicated worker thread — the
-//! autograd graph (`Rc`-based [`Var`]) is single-threaded by design, so
-//! the model is built, checkpoint-loaded, and run entirely on that
-//! thread. Callers talk to it through a cloneable [`ModelClient`]:
-//! `predict` sends a sample-shaped tensor over a channel and blocks on a
-//! one-shot reply.
+//! Each served model is owned by `replicas` dedicated worker threads —
+//! the autograd graph (`Rc`-based [`Var`]) is single-threaded by design,
+//! so every replica builds, checkpoint-loads, and runs its own copy of
+//! the model entirely on its own thread (weights are immutable after
+//! load, and the tensor pool's COW buffers make the per-replica copies
+//! cheap in steady state). Callers talk to the shard through a cloneable
+//! [`ModelClient`]: `predict` routes a sample-shaped tensor to the
+//! least-loaded live replica's queue and blocks on a one-shot reply.
 //!
-//! The worker drains its queue into batches: the first request opens a
+//! Each replica drains its queue into batches: the first request opens a
 //! batch and starts a `max_wait_ms` timer; more requests join until the
 //! batch holds `max_batch` samples or the timer fires, whichever comes
 //! first. Same-shaped samples are stacked into one `[K, ...]` tensor and
@@ -25,13 +27,14 @@
 //! edge, so they also protect embedded users of [`ModelClient`]:
 //!
 //! * **Bounded admission.** At most [`BatchConfig::queue_bound`]
-//!   requests may be admitted-but-unanswered per model; the next one is
-//!   shed with [`ServeError::Overloaded`] (HTTP 429) instead of growing
-//!   the queue without limit. Crossing the high watermark (¾ of the
-//!   bound) flips the worker into a *pressured* state — reported by
-//!   `/healthz` as `degraded` and by the `serve.backpressure` gauge —
-//!   which clears only once the depth falls below the low watermark
-//!   (¼), so health does not flap at the boundary.
+//!   requests may be admitted-but-unanswered per model (summed across
+//!   its replicas); the next one is shed with [`ServeError::Overloaded`]
+//!   (HTTP 429) instead of growing the queues without limit. Crossing
+//!   the high watermark (¾ of the bound) flips the model into a
+//!   *pressured* state — reported by `/healthz` as `degraded` and by the
+//!   `serve.backpressure` gauge — which clears only once the depth falls
+//!   below the low watermark (¼), so health does not flap at the
+//!   boundary.
 //! * **Deadlines.** Every request can carry a deadline. Expired
 //!   requests are answered with [`ServeError::DeadlineExceeded`] (HTTP
 //!   504) at admission, when popped from the queue, and again right
@@ -39,16 +42,24 @@
 //!   slot. The caller also stops waiting at its deadline, so no thread
 //!   blocks forever on a wedged forward.
 //! * **Graceful drain with a hard timeout.** Shutdown enqueues a FIFO
-//!   sentinel: every request admitted before it is still served, then
-//!   the worker exits and is joined — but the join gives up after the
-//!   drain timeout (counted as `serve.drain.timeout`) so a wedged model
-//!   cannot block process exit.
+//!   sentinel per replica: every request admitted before it is still
+//!   served, then the replica exits and is joined — but the join gives
+//!   up after the drain timeout (counted as `serve.drain.timeout`) so a
+//!   wedged model cannot block process exit.
+//! * **Replica fail-over.** A replica whose thread dies (a panic escaped
+//!   the per-batch isolation) is taken out of the routing set; the
+//!   surviving replicas keep serving. `/healthz` reports the model as
+//!   `dead` only once *every* replica is gone.
+//!
+//! Per-replica queue depths are exported as
+//! `serve.replica_depth.<model>.<i>` gauges so an operator can see the
+//! least-loaded routing do its job from `/metrics`.
 //!
 //! Fault points for chaos tests: `serve.batcher.forward` (before the
-//! batched forward — a panic here kills the worker thread, which
+//! batched forward — a panic here kills the replica thread, which
 //! `/healthz` must report) and `serve.batcher.model` (inside the
 //! panic-isolated model call — a panic here fails one batch and the
-//! worker survives).
+//! replica survives).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -75,10 +86,16 @@ pub struct BatchConfig {
     pub max_wait_ms: u64,
     /// Device the batched forward runs on.
     pub device: Device,
-    /// Most admitted-but-unanswered requests per model. The next
-    /// request past the bound is shed with [`ServeError::Overloaded`]
-    /// instead of queueing without limit.
+    /// Most admitted-but-unanswered requests per model, summed across
+    /// its replicas. The next request past the bound is shed with
+    /// [`ServeError::Overloaded`] instead of queueing without limit.
     pub queue_bound: usize,
+    /// Replica worker threads per model. Each replica owns its own copy
+    /// of the model (built by running the registered constructor and
+    /// checkpoint load on the replica thread) and its own batch queue;
+    /// requests are routed to the least-loaded live replica. `1` (the
+    /// default) reproduces the single-owner-thread behaviour exactly.
+    pub replicas: usize,
 }
 
 impl Default for BatchConfig {
@@ -88,6 +105,7 @@ impl Default for BatchConfig {
             max_wait_ms: 2,
             device: Device::parallel(),
             queue_bound: 64,
+            replicas: 1,
         }
     }
 }
@@ -111,25 +129,41 @@ fn register_gauges() {
     });
 }
 
-/// Shared between a worker, its clients, and `/healthz`: admission
-/// accounting and liveness.
-pub(crate) struct WorkerState {
+/// One replica's routing state: in-flight count and liveness.
+pub(crate) struct ReplicaState {
+    /// Requests routed to this replica and not yet answered.
     depth: AtomicUsize,
-    bound: usize,
-    pressured: AtomicBool,
     alive: AtomicBool,
     died: AtomicBool,
 }
 
+impl ReplicaState {
+    fn new() -> ReplicaState {
+        ReplicaState {
+            depth: AtomicUsize::new(0),
+            alive: AtomicBool::new(true),
+            died: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Shared between a model's replicas, its clients, and `/healthz`:
+/// model-global admission accounting plus per-replica liveness/load.
+pub(crate) struct WorkerState {
+    depth: AtomicUsize,
+    bound: usize,
+    pressured: AtomicBool,
+    replicas: Vec<ReplicaState>,
+}
+
 impl WorkerState {
-    fn new(bound: usize) -> WorkerState {
+    fn new(bound: usize, replicas: usize) -> WorkerState {
         register_gauges();
         WorkerState {
             depth: AtomicUsize::new(0),
             bound: bound.max(1),
             pressured: AtomicBool::new(false),
-            alive: AtomicBool::new(true),
-            died: AtomicBool::new(false),
+            replicas: (0..replicas.max(1)).map(|_| ReplicaState::new()).collect(),
         }
     }
 
@@ -141,10 +175,22 @@ impl WorkerState {
         self.bound / 4
     }
 
-    fn mark_stopped(&self, died: bool) {
-        self.alive.store(false, Ordering::SeqCst);
+    /// Whether any replica is still serving.
+    fn is_alive(&self) -> bool {
+        self.replicas.iter().any(|r| r.alive.load(Ordering::SeqCst))
+    }
+
+    /// Whether every replica is gone and at least one died abnormally.
+    /// A partially dead shard keeps serving on the survivors; `/healthz`
+    /// only reports `dead` once nothing is left to route to.
+    fn has_died(&self) -> bool {
+        !self.is_alive() && self.replicas.iter().any(|r| r.died.load(Ordering::SeqCst))
+    }
+
+    fn mark_stopped(&self, replica: usize, died: bool) {
+        self.replicas[replica].alive.store(false, Ordering::SeqCst);
         if died {
-            self.died.store(true, Ordering::SeqCst);
+            self.replicas[replica].died.store(true, Ordering::SeqCst);
         }
     }
 }
@@ -197,6 +243,40 @@ impl Drop for AdmitGuard {
     }
 }
 
+/// Holds one replica's in-flight slot; picked least-loaded at submission
+/// and released (on whichever thread answers) when the request is done.
+struct ReplicaSlot {
+    state: Arc<WorkerState>,
+    idx: usize,
+}
+
+impl ReplicaSlot {
+    /// Route to the live replica with the fewest in-flight requests
+    /// (ties go to the lowest index). `None` when every replica is gone.
+    fn take(state: &Arc<WorkerState>) -> Option<ReplicaSlot> {
+        let idx = state
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive.load(Ordering::SeqCst))
+            .min_by_key(|(_, r)| r.depth.load(Ordering::SeqCst))?
+            .0;
+        state.replicas[idx].depth.fetch_add(1, Ordering::SeqCst);
+        Some(ReplicaSlot {
+            state: Arc::clone(state),
+            idx,
+        })
+    }
+}
+
+impl Drop for ReplicaSlot {
+    fn drop(&mut self) {
+        self.state.replicas[self.idx]
+            .depth
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 struct Request {
     input: Tensor,
     enqueued: Instant,
@@ -205,108 +285,140 @@ struct Request {
     /// Held until the request is answered or dropped; releases the
     /// admission slot either way.
     _admit: AdmitGuard,
+    /// Same lifecycle for the routed replica's in-flight count.
+    _slot: ReplicaSlot,
 }
 
 /// Queue messages. `Shutdown` is an explicit sentinel (sent by
-/// [`ModelWorker::shutdown`]/drop) so the worker can stop even while
-/// [`ModelClient`] clones — which keep the channel connected — are still
-/// alive. The queue is FIFO, so every request enqueued before the
-/// sentinel is still served; requests sent after it fail.
+/// [`ModelWorker::shutdown`]/drop, one per replica) so a replica can
+/// stop even while [`ModelClient`] clones — which keep the channel
+/// connected — are still alive. Each queue is FIFO, so every request
+/// enqueued before the sentinel is still served; requests sent after it
+/// fail.
 enum Msg {
     Predict(Request),
     Shutdown,
 }
 
-/// Handle to a model owner thread. Dropping (or calling
-/// [`ModelWorker::shutdown`]) stops the thread after the queue drains.
-pub struct ModelWorker {
-    name: String,
+/// One replica's owner thread plumbing.
+struct ReplicaHandle {
     tx: Option<mpsc::Sender<Msg>>,
     join: Option<JoinHandle<()>>,
     done_rx: mpsc::Receiver<()>,
+}
+
+/// Handle to a model's replica shard. Dropping (or calling
+/// [`ModelWorker::shutdown`]) stops every replica after its queue
+/// drains.
+pub struct ModelWorker {
+    name: String,
+    replicas: Vec<ReplicaHandle>,
     state: Arc<WorkerState>,
 }
 
-/// Cheap, cloneable submission handle for one served model.
+/// Cheap, cloneable submission handle for one served model. Routes each
+/// request to the least-loaded live replica.
 #[derive(Clone)]
 pub struct ModelClient {
     name: String,
-    tx: mpsc::Sender<Msg>,
+    txs: Vec<mpsc::Sender<Msg>>,
     state: Arc<WorkerState>,
 }
 
 impl ModelWorker {
-    /// Spawn the owner thread for one model.
+    /// Spawn the replica threads for one model.
     ///
-    /// `init` runs *on the worker thread* (models are not `Send`) and
-    /// should construct the model and load its checkpoint; its error —
-    /// e.g. a wrong-architecture checkpoint — is propagated back out of
-    /// `spawn`, so a server never starts half-broken. The model is
-    /// switched to eval mode before the first request is served.
+    /// `init` runs once *on each replica thread* (models are not `Send`,
+    /// so every replica constructs its own copy and loads its own
+    /// checkpoint); the first error — e.g. a wrong-architecture
+    /// checkpoint — is propagated back out of `spawn` and the already-
+    /// started replicas are torn down, so a server never starts
+    /// half-broken. Every replica is switched to eval mode before its
+    /// first request.
     pub fn spawn<F>(name: &str, config: BatchConfig, init: F) -> Result<ModelWorker, ServeError>
     where
-        F: FnOnce() -> Result<Box<dyn ServeModel>, ServeError> + Send + 'static,
+        F: Fn() -> Result<Box<dyn ServeModel>, ServeError> + Send + Sync + 'static,
     {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
-        let (tx, rx) = mpsc::channel::<Msg>();
-        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
-        let (done_tx, done_rx) = mpsc::channel::<()>();
-        let state = Arc::new(WorkerState::new(config.queue_bound));
-        let thread_state = Arc::clone(&state);
-        let thread_name = format!("serve-{name}");
-        let stat_name = name.to_string();
-        let join = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || {
-                let model = match init() {
-                    Ok(model) => model,
-                    Err(e) => {
-                        thread_state.mark_stopped(false);
-                        ready_tx.send(Err(e)).ok();
-                        return;
+        let n = config.replicas.max(1);
+        let state = Arc::new(WorkerState::new(config.queue_bound, n));
+        let init: Arc<F> = Arc::new(init);
+        let mut replicas = Vec::with_capacity(n);
+        let mut readies = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel::<Msg>();
+            let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            let thread_state = Arc::clone(&state);
+            let init = Arc::clone(&init);
+            let stat_name = name.to_string();
+            let join = std::thread::Builder::new()
+                .name(format!("serve-{name}-r{i}"))
+                .spawn(move || {
+                    let model = match init() {
+                        Ok(model) => model,
+                        Err(e) => {
+                            thread_state.mark_stopped(i, false);
+                            ready_tx.send(Err(e)).ok();
+                            return;
+                        }
+                    };
+                    // Serving is inference: running statistics frozen,
+                    // dropout off. Do it here, once, so no request can
+                    // ever observe a train-mode forward.
+                    model.set_training(false);
+                    ready_tx.send(Ok(())).ok();
+                    let model_stat = geotorch_telemetry::register_dynamic(format!(
+                        "serve.model.{stat_name}"
+                    ));
+                    // A panic past this point (e.g. an injected fault
+                    // outside the per-batch isolation) kills only this
+                    // replica: routing skips it, and `/healthz` flips
+                    // the model to dead once no replica is left.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        serve_loop(model.as_ref(), &rx, config, model_stat)
+                    }));
+                    thread_state.mark_stopped(i, outcome.is_err());
+                    if outcome.is_err() {
+                        geotorch_telemetry::count!("serve.worker.died", 1);
                     }
-                };
-                // Serving is inference: running statistics frozen,
-                // dropout off. Do it here, once, so no request can ever
-                // observe a train-mode forward.
-                model.set_training(false);
-                ready_tx.send(Ok(())).ok();
-                let model_stat = geotorch_telemetry::register_dynamic(format!(
-                    "serve.model.{stat_name}"
-                ));
-                // A panic past this point (e.g. an injected fault
-                // outside the per-batch isolation) kills only this
-                // model: the flag flips `/healthz` to degraded while
-                // queued callers get disconnect errors.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    serve_loop(model.as_ref(), &rx, config, model_stat)
-                }));
-                thread_state.mark_stopped(outcome.is_err());
-                if outcome.is_err() {
-                    geotorch_telemetry::count!("serve.worker.died", 1);
-                }
-                done_tx.send(()).ok();
-            })
-            .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
-        match ready_rx.recv() {
-            Ok(Ok(())) => Ok(ModelWorker {
-                name: name.to_string(),
+                    done_tx.send(()).ok();
+                })
+                .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
+            replicas.push(ReplicaHandle {
                 tx: Some(tx),
                 join: Some(join),
                 done_rx,
-                state,
-            }),
-            Ok(Err(e)) => {
-                join.join().ok();
-                Err(e)
-            }
-            Err(_) => {
-                join.join().ok();
+            });
+            readies.push(ready_rx);
+        }
+        let mut worker = ModelWorker {
+            name: name.to_string(),
+            replicas,
+            state,
+        };
+        for ready_rx in &readies {
+            let ready = ready_rx.recv().unwrap_or_else(|_| {
                 Err(ServeError::Internal(
                     "model worker died during initialisation".to_string(),
                 ))
+            });
+            if let Err(e) = ready {
+                // Tear the healthy replicas down before reporting: drop
+                // every queue (the replica loops exit on disconnect) and
+                // join the threads.
+                worker.stop(Duration::from_secs(30));
+                return Err(e);
             }
         }
+        for i in 0..n {
+            let state = Arc::clone(&worker.state);
+            geotorch_telemetry::register_gauge_dynamic(
+                format!("serve.replica_depth.{name}.{i}"),
+                move || state.replicas[i].depth.load(Ordering::Relaxed) as u64,
+            );
+        }
+        Ok(worker)
     }
 
     /// The model name this worker serves.
@@ -314,29 +426,40 @@ impl ModelWorker {
         &self.name
     }
 
+    /// Number of replica threads serving this model.
+    pub fn replicas(&self) -> usize {
+        self.state.replicas.len()
+    }
+
     /// A new submission handle.
     pub fn client(&self) -> ModelClient {
         ModelClient {
             name: self.name.clone(),
-            tx: self.tx.as_ref().expect("worker is running").clone(),
+            txs: self
+                .replicas
+                .iter()
+                .map(|r| r.tx.as_ref().expect("worker is running").clone())
+                .collect(),
             state: Arc::clone(&self.state),
         }
     }
 
-    /// Whether the owner thread is still serving. `false` after a clean
-    /// shutdown *or* an unexpected death — see [`ModelWorker::has_died`].
+    /// Whether any replica is still serving. `false` after a clean
+    /// shutdown *or* once every replica died — see
+    /// [`ModelWorker::has_died`].
     pub fn is_alive(&self) -> bool {
-        self.state.alive.load(Ordering::SeqCst)
+        self.state.is_alive()
     }
 
-    /// Whether the owner thread exited abnormally (a panic escaped the
-    /// per-batch isolation).
+    /// Whether the model is gone because of abnormal exits: no replica
+    /// is serving and at least one died (a panic escaped the per-batch
+    /// isolation).
     pub fn has_died(&self) -> bool {
-        self.state.died.load(Ordering::SeqCst)
+        self.state.has_died()
     }
 
-    /// Stop the worker: every request already enqueued is still served,
-    /// then the owner thread exits and is joined. Requests submitted
+    /// Stop every replica: requests already enqueued are still served,
+    /// then the replica threads exit and are joined. Requests submitted
     /// after this call fail, even through [`ModelClient`] clones that
     /// outlive the worker. Waits up to 30 s — use
     /// [`ModelWorker::shutdown_within`] to pick the hard timeout.
@@ -344,34 +467,45 @@ impl ModelWorker {
         self.stop(Duration::from_secs(30));
     }
 
-    /// Like [`ModelWorker::shutdown`] with an explicit hard timeout.
-    /// Returns `false` when the drain timed out: the sentinel is still
-    /// queued so the worker exits when it unwedges, but the thread is
-    /// detached instead of joined (and `serve.drain.timeout` counts it).
+    /// Like [`ModelWorker::shutdown`] with an explicit hard timeout
+    /// shared across the replicas. Returns `false` when the drain timed
+    /// out on any replica: its sentinel is still queued so it exits when
+    /// it unwedges, but the thread is detached instead of joined (and
+    /// `serve.drain.timeout` counts it).
     pub fn shutdown_within(mut self, timeout: Duration) -> bool {
         self.stop(timeout)
     }
 
     fn stop(&mut self, timeout: Duration) -> bool {
-        if let Some(tx) = self.tx.take() {
-            tx.send(Msg::Shutdown).ok();
-        }
-        let Some(join) = self.join.take() else {
-            return true;
-        };
-        match self.done_rx.recv_timeout(timeout) {
-            // Normal exit (or the worker was already gone): the thread
-            // is past its loop, so this join returns immediately.
-            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
-                join.join().ok();
-                true
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                geotorch_telemetry::count!("serve.drain.timeout", 1);
-                drop(join);
-                false
+        for replica in &mut self.replicas {
+            if let Some(tx) = replica.tx.take() {
+                tx.send(Msg::Shutdown).ok();
             }
         }
+        let deadline = Instant::now() + timeout;
+        let mut drained = true;
+        for replica in &mut self.replicas {
+            let Some(join) = replica.join.take() else {
+                continue;
+            };
+            let left = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            match replica.done_rx.recv_timeout(left) {
+                // Normal exit (or the replica was already gone): the
+                // thread is past its loop, so this join returns
+                // immediately.
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    join.join().ok();
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    geotorch_telemetry::count!("serve.drain.timeout", 1);
+                    drop(join);
+                    drained = false;
+                }
+            }
+        }
+        drained
     }
 }
 
@@ -385,7 +519,8 @@ impl std::fmt::Debug for ModelWorker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelWorker")
             .field("name", &self.name)
-            .field("running", &self.tx.is_some())
+            .field("replicas", &self.replicas.len())
+            .field("running", &self.replicas.iter().any(|r| r.tx.is_some()))
             .field("alive", &self.is_alive())
             .field("queue_depth", &self.state.depth.load(Ordering::SeqCst))
             .finish()
@@ -398,7 +533,7 @@ impl ModelClient {
         &self.name
     }
 
-    /// Admitted-but-unanswered requests right now.
+    /// Admitted-but-unanswered requests right now, across all replicas.
     pub fn queue_depth(&self) -> usize {
         self.state.depth.load(Ordering::SeqCst)
     }
@@ -408,20 +543,34 @@ impl ModelClient {
         self.state.bound
     }
 
+    /// Number of replica threads serving this model.
+    pub fn replicas(&self) -> usize {
+        self.state.replicas.len()
+    }
+
+    /// In-flight requests per replica — what least-loaded routing sees.
+    pub fn replica_depths(&self) -> Vec<usize> {
+        self.state
+            .replicas
+            .iter()
+            .map(|r| r.depth.load(Ordering::SeqCst))
+            .collect()
+    }
+
     /// Whether the queue is past its high watermark (and has not yet
     /// fallen back below the low watermark).
     pub fn is_pressured(&self) -> bool {
         self.state.pressured.load(Ordering::SeqCst)
     }
 
-    /// Whether the owner thread is still serving.
+    /// Whether any replica is still serving.
     pub fn is_alive(&self) -> bool {
-        self.state.alive.load(Ordering::SeqCst)
+        self.state.is_alive()
     }
 
-    /// Whether the owner thread exited abnormally.
+    /// Whether every replica is gone and at least one exited abnormally.
     pub fn has_died(&self) -> bool {
-        self.state.died.load(Ordering::SeqCst)
+        self.state.has_died()
     }
 
     /// Predict one sample (shaped like a single batch row, e.g.
@@ -443,7 +592,7 @@ impl ModelClient {
         sample: Tensor,
         budget: Option<Duration>,
     ) -> Result<Tensor, ServeError> {
-        if !self.state.alive.load(Ordering::SeqCst) {
+        if !self.state.is_alive() {
             return Err(self.gone_error());
         }
         let admit = AdmitGuard::admit(&self.state)?;
@@ -455,14 +604,19 @@ impl ModelClient {
                 "deadline expired before admission".to_string(),
             ));
         }
+        let Some(slot) = ReplicaSlot::take(&self.state) else {
+            return Err(self.gone_error());
+        };
+        let replica = slot.idx;
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.tx
+        self.txs[replica]
             .send(Msg::Predict(Request {
                 input: sample,
                 enqueued: now,
                 deadline,
                 reply: reply_tx,
                 _admit: admit,
+                _slot: slot,
             }))
             .map_err(|_| self.gone_error())?;
         match deadline {
@@ -470,7 +624,7 @@ impl ModelClient {
             Some(deadline) => loop {
                 let now = Instant::now();
                 if now >= deadline {
-                    // The worker may still answer later (e.g. a wedged
+                    // The replica may still answer later (e.g. a wedged
                     // forward); the reply then lands in a dropped
                     // channel. Give up here so no caller outlives its
                     // own deadline.
@@ -489,9 +643,9 @@ impl ModelClient {
     }
 
     fn gone_error(&self) -> ServeError {
-        if self.state.died.load(Ordering::SeqCst) {
+        if self.state.has_died() {
             ServeError::Unavailable(format!("model worker `{}` died", self.name))
-        } else if !self.state.alive.load(Ordering::SeqCst) {
+        } else if !self.state.is_alive() {
             ServeError::Unavailable(format!("model worker `{}` has shut down", self.name))
         } else {
             ServeError::Internal("model worker dropped the request".to_string())
@@ -504,19 +658,36 @@ static BATCHES: OnceLock<&'static Stat> = OnceLock::new();
 static BATCH_SIZE: OnceLock<&'static Stat> = OnceLock::new();
 static QUEUE_WAIT: OnceLock<&'static Stat> = OnceLock::new();
 
-/// Answer an expired request with 504 and drop it (the admission slot is
-/// released by the guard). Returns the request back when it still has
-/// time on the clock.
+/// Deliver a request's answer, releasing its admission slot and replica
+/// in-flight count *before* the reply is sent. The order matters on a
+/// busy host: if the reply lands first and this thread is preempted,
+/// the caller can observe the response, come back with a new request,
+/// and get shed by a slot that is still accounted to the old one.
+fn answer(request: Request, result: Result<Tensor, ServeError>) {
+    let Request {
+        reply,
+        _admit: admit,
+        _slot: slot,
+        ..
+    } = request;
+    drop(admit);
+    drop(slot);
+    reply.send(result).ok();
+}
+
+/// Answer an expired request with 504 and drop it (releasing its
+/// admission slot). Returns the request back when it still has time on
+/// the clock.
 fn reject_if_expired(request: Request) -> Option<Request> {
     match request.deadline {
         Some(deadline) if Instant::now() >= deadline => {
             geotorch_telemetry::count!("serve.expired", 1);
-            request
-                .reply
-                .send(Err(ServeError::DeadlineExceeded(
+            answer(
+                request,
+                Err(ServeError::DeadlineExceeded(
                     "deadline expired in the batch queue".to_string(),
-                )))
-                .ok();
+                )),
+            );
             None
         }
         _ => Some(request),
@@ -531,7 +702,7 @@ fn serve_loop(
 ) {
     loop {
         // Block for the head of the next batch; the shutdown sentinel
-        // (or a fully disconnected channel) stops the worker. Requests
+        // (or a fully disconnected channel) stops the replica. Requests
         // that expired while queued are answered with 504 and never
         // open a batch.
         let first = loop {
@@ -610,12 +781,12 @@ fn run_batch(
 
     for (shape, members) in groups {
         // Chaos hook *outside* the panic isolation: an injected error
-        // fails this group cleanly, an injected panic kills the worker
+        // fails this group cleanly, an injected panic kills the replica
         // thread (the scenario `/healthz` must surface as degraded).
         if let Err(msg) = geotorch_telemetry::fault_point!("serve.batcher.forward") {
             let err = ServeError::Internal(format!("injected batcher fault: {msg}"));
-            for request in &members {
-                request.reply.send(Err(err.clone())).ok();
+            for request in members {
+                answer(request, Err(err.clone()));
             }
             continue;
         }
@@ -624,7 +795,7 @@ fn run_batch(
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Chaos hook *inside* the isolation: behaves like a model
-            // bug — the batch fails, the worker survives.
+            // bug — the batch fails, the replica survives.
             if let Err(msg) = geotorch_telemetry::fault_point!("serve.batcher.model") {
                 panic!("injected model fault: {msg}");
             }
@@ -637,8 +808,8 @@ fn run_batch(
         }
         match result {
             Ok(output) if output.shape().first() == Some(&members.len()) => {
-                for (i, request) in members.iter().enumerate() {
-                    request.reply.send(Ok(output.index_axis(0, i))).ok();
+                for (i, request) in members.into_iter().enumerate() {
+                    answer(request, Ok(output.index_axis(0, i)));
                 }
             }
             Ok(output) => {
@@ -647,8 +818,8 @@ fn run_batch(
                     output.shape().first(),
                     members.len()
                 ));
-                for request in &members {
-                    request.reply.send(Err(err.clone())).ok();
+                for request in members {
+                    answer(request, Err(err.clone()));
                 }
             }
             Err(panic) => {
@@ -658,8 +829,8 @@ fn run_batch(
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "forward pass panicked".to_string());
                 let err = ServeError::Internal(format!("forward pass panicked: {msg}"));
-                for request in &members {
-                    request.reply.send(Err(err.clone())).ok();
+                for request in members {
+                    answer(request, Err(err.clone()));
                 }
             }
         }

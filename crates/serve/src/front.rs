@@ -1,0 +1,703 @@
+//! The event-driven HTTP front: one epoll readiness loop that owns
+//! every idle or partially-read connection, plus a small pool of
+//! responder threads that run the blocking part (routing, model
+//! predict, response write).
+//!
+//! The split is what kills head-of-line blocking: a slow or stalled
+//! client costs the server one non-blocking socket and a few hundred
+//! buffered bytes inside the event loop — never a thread. Only a
+//! *complete* request is handed to a responder, so the pool's threads
+//! are always doing useful work. After a keep-alive response the
+//! responder hands the connection back to the loop (through a channel,
+//! waking it via a self-connected UDP socket), where any pipelined
+//! bytes already buffered are parsed immediately.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!            accept                    header/body complete
+//!  listener ────────▶ READING ───────────────────────────────▶ DISPATCHED
+//!                      │  │ ▲                                  (responder:
+//!          idle timer  │  │ │ keep-alive hand-back              route +
+//!            ──▶ 408   │  │ └──────────────────────────────────  write)
+//!                      │  │ Content-Length > max_body
+//!                      │  └──────────────▶ DISCARDING ──▶ 413, close
+//!                      │ EOF / parse error     (bounded body drain)
+//!                      ▼
+//!                 close (disconnect / 400)
+//! ```
+//!
+//! Accept-side robustness: transient `accept` failures (EMFILE, ...)
+//! count `serve.error.accept` and take the listener *out of* the
+//! interest set for a bounded, exponentially growing pause — with
+//! level-triggered epoll that is the only way to back off without
+//! spinning on a permanently-ready listener. `serve.http.accept` is the
+//! chaos hook for that path.
+//!
+//! Gauges: `serve.open_connections` (live sockets, wherever they
+//! currently live) and the `serve.epoll.wakeups` counter.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::epoll::{EpollEvent, Poller, EPOLLIN, EPOLLRDHUP};
+use crate::http::{
+    count_error_status, error_json, route, send_response, try_parse, FrontState, HttpRequest,
+    Parsed,
+};
+use crate::ServeError;
+
+/// Live sockets across the event loop and the responders, exported as
+/// the `serve.open_connections` gauge.
+static OPEN_CONNECTIONS: AtomicU64 = AtomicU64::new(0);
+
+fn register_front_gauges() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        geotorch_telemetry::register_gauge("serve.open_connections", || {
+            OPEN_CONNECTIONS.load(Ordering::Relaxed)
+        });
+    });
+}
+
+/// RAII increment of the open-connection gauge; travels with the
+/// connection so the count stays honest no matter which thread closes
+/// the socket.
+struct OpenGuard;
+
+impl OpenGuard {
+    fn new() -> OpenGuard {
+        OPEN_CONNECTIONS.fetch_add(1, Ordering::Relaxed);
+        OpenGuard
+    }
+}
+
+impl Drop for OpenGuard {
+    fn drop(&mut self) {
+        OPEN_CONNECTIONS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One client connection and its incremental parse state.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a complete request. Doubles
+    /// as the pipelining buffer after a keep-alive hand-back.
+    buf: Vec<u8>,
+    /// Completed requests on this connection (keep-alive reuse count).
+    served: u64,
+    /// When the idle/read timer fires for this connection.
+    idle_at: Instant,
+    /// Remaining oversized-body bytes to discard before `pending` can
+    /// be sent without the close RSTing unread data.
+    discard: usize,
+    /// Deferred error response (the 413) to send once `discard` drains.
+    pending: Option<(u16, String)>,
+    /// Whether the per-request `serve.http.read` chaos hook ran yet.
+    fault_checked: bool,
+    _open: OpenGuard,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, socket_timeout: Duration) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            served: 0,
+            idle_at: Instant::now() + socket_timeout,
+            discard: 0,
+            pending: None,
+            fault_checked: false,
+            _open: OpenGuard::new(),
+        }
+    }
+}
+
+/// A complete request plus the connection it arrived on, queued for a
+/// responder thread.
+struct Job {
+    conn: Conn,
+    request: HttpRequest,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.available.notify_one();
+    }
+}
+
+/// The running front: event-loop thread + responder pool.
+pub(crate) struct Front {
+    front: Arc<FrontState>,
+    waker: UdpSocket,
+    loop_join: Option<JoinHandle<()>>,
+    pool: Arc<PoolShared>,
+    pool_joins: Vec<JoinHandle<()>>,
+}
+
+impl Front {
+    pub(crate) fn start(
+        listener: TcpListener,
+        front: Arc<FrontState>,
+        http_workers: usize,
+    ) -> Result<Front, ServeError> {
+        register_front_gauges();
+        let internal = |e: std::io::Error, what: &str| {
+            ServeError::Internal(format!("{what} failed: {e}"))
+        };
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| internal(e, "listener set_nonblocking"))?;
+        // The wake channel: a UDP socket connected to itself. One byte
+        // sent from any thread makes the epoll loop's next wait return.
+        let waker = UdpSocket::bind("127.0.0.1:0").map_err(|e| internal(e, "waker bind"))?;
+        let waker_addr = waker.local_addr().map_err(|e| internal(e, "waker addr"))?;
+        waker.connect(waker_addr).map_err(|e| internal(e, "waker connect"))?;
+        waker
+            .set_nonblocking(true)
+            .map_err(|e| internal(e, "waker set_nonblocking"))?;
+        let poller = Poller::new().map_err(|e| internal(e, "epoll_create1"))?;
+
+        let pool = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let (ret_tx, ret_rx) = mpsc::channel::<Conn>();
+        let mut pool_joins = Vec::new();
+        for i in 0..http_workers.max(1) {
+            let shared = Arc::clone(&pool);
+            let front = Arc::clone(&front);
+            let ret_tx = ret_tx.clone();
+            let waker = waker.try_clone().map_err(|e| internal(e, "waker clone"))?;
+            let join = std::thread::Builder::new()
+                .name(format!("serve-http-{i}"))
+                .spawn(move || responder_loop(&shared, &front, &ret_tx, &waker))
+                .map_err(|e| internal(e, "spawn"))?;
+            pool_joins.push(join);
+        }
+        drop(ret_tx);
+
+        let loop_waker = waker.try_clone().map_err(|e| internal(e, "waker clone"))?;
+        let loop_front = Arc::clone(&front);
+        let loop_pool = Arc::clone(&pool);
+        let loop_join = std::thread::Builder::new()
+            .name("serve-epoll".to_string())
+            .spawn(move || {
+                EventLoop {
+                    poller,
+                    listener,
+                    waker: loop_waker,
+                    front: loop_front,
+                    pool: loop_pool,
+                    ret_rx,
+                    slots: Vec::new(),
+                    gens: Vec::new(),
+                    free: Vec::new(),
+                    accept_retry_at: None,
+                    accept_backoff: ACCEPT_BACKOFF_MIN,
+                }
+                .run();
+            })
+            .map_err(|e| internal(e, "spawn"))?;
+
+        Ok(Front {
+            front,
+            waker,
+            loop_join: Some(loop_join),
+            pool,
+            pool_joins,
+        })
+    }
+
+    /// Stop accepting, close idle connections, finish every request
+    /// already read, join all threads. Idempotent.
+    pub(crate) fn stop(&mut self) {
+        self.front.stop.store(true, Ordering::SeqCst);
+        self.waker.send(&[1]).ok();
+        if let Some(join) = self.loop_join.take() {
+            join.join().ok();
+        }
+        // Responders drain the remaining queue, then exit.
+        self.pool.stop.store(true, Ordering::SeqCst);
+        self.pool.available.notify_all();
+        for join in self.pool_joins.drain(..) {
+            join.join().ok();
+        }
+    }
+}
+
+fn responder_loop(
+    shared: &PoolShared,
+    front: &Arc<FrontState>,
+    ret_tx: &Sender<Conn>,
+    waker: &UdpSocket,
+) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Job { mut conn, request } = job;
+        // Blocking mode for the model call and the response write; the
+        // socket timeouts set at accept bound the write.
+        conn.stream.set_nonblocking(false).ok();
+        let (status, headers, body) = route(&request, front);
+        geotorch_telemetry::count!("serve.http.requests", 1);
+        count_error_status(status);
+        // Honor keep-alive unless the server is going down.
+        let keep = request.keep_alive && !front.stop.load(Ordering::SeqCst);
+        let sent = send_response(&mut conn.stream, status, &headers, &body, keep);
+        if !sent || !keep {
+            continue; // drop = close
+        }
+        conn.served += 1;
+        conn.fault_checked = false;
+        conn.idle_at = Instant::now() + front.socket_timeout;
+        if conn.stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        if ret_tx.send(conn).is_ok() {
+            waker.send(&[1]).ok();
+        }
+    }
+}
+
+/// Token-space reserved for the two non-connection fds.
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+/// Largest poll interval; also the idle-sweep granularity floor.
+const MAX_WAIT: Duration = Duration::from_millis(500);
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    waker: UdpSocket,
+    front: Arc<FrontState>,
+    pool: Arc<PoolShared>,
+    ret_rx: Receiver<Conn>,
+    /// Connection slots; the epoll token is `(generation << 32) | index`
+    /// so a readiness report for a slot that has since been reused is
+    /// recognisably stale.
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    /// While set, the listener is out of the interest set (accept
+    /// backoff); re-registered when the deadline passes.
+    accept_retry_at: Option<Instant>,
+    accept_backoff: Duration,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        if self
+            .poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+            .is_err()
+            || self
+                .poller
+                .add(self.waker.as_raw_fd(), TOKEN_WAKER, EPOLLIN)
+                .is_err()
+        {
+            // Without a working poller there is nothing to serve; the
+            // stop flag still lets shutdown join this thread.
+            while !self.front.stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            return;
+        }
+        let mut events = [EpollEvent::default(); 256];
+        while !self.front.stop.load(Ordering::SeqCst) {
+            let timeout = self.poll_timeout_ms();
+            let n = match self.poller.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            };
+            geotorch_telemetry::count!("serve.epoll.wakeups", 1);
+            if self.front.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for event in &events[..n] {
+                let token = event.data;
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    _ => self.conn_ready(token),
+                }
+            }
+            // Keep-alive connections handed back by responders; drained
+            // every pass so a missed wake datagram can't strand one.
+            while let Ok(conn) = self.ret_rx.try_recv() {
+                self.readmit(conn);
+            }
+            self.maybe_resume_accept();
+            self.sweep_idle();
+        }
+        self.close_all();
+    }
+
+    /// How long the next `epoll_pwait` may block: until the nearest
+    /// idle deadline or accept-backoff expiry, capped at [`MAX_WAIT`].
+    fn poll_timeout_ms(&self) -> i32 {
+        let now = Instant::now();
+        let mut next: Option<Instant> = self.accept_retry_at;
+        for conn in self.slots.iter().flatten() {
+            next = Some(match next {
+                Some(t) => t.min(conn.idle_at),
+                None => conn.idle_at,
+            });
+        }
+        let wait = match next {
+            None => MAX_WAIT,
+            Some(t) => t.saturating_duration_since(now).min(MAX_WAIT),
+        };
+        wait.as_millis() as i32
+    }
+
+    // ---- accept path ---------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.front.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Chaos hook for the backoff path: an injected error is a
+            // failed accept attempt (the connection stays in the
+            // kernel backlog and is picked up after the pause).
+            if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.accept") {
+                let _ = msg;
+                self.accept_failed();
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    self.register_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.accept_failed();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Transient accept failure (EMFILE under a connection storm, a
+    /// reset mid-handshake): count it and pull the listener out of the
+    /// interest set for the backoff window. With level-triggered epoll
+    /// a still-pending backlog would otherwise wake the loop instantly
+    /// and spin it at 100% CPU — the seed front's `Err(_) => continue`
+    /// bug, made worse.
+    fn accept_failed(&mut self) {
+        geotorch_telemetry::count!("serve.error.accept", 1);
+        self.poller.del(self.listener.as_raw_fd()).ok();
+        self.accept_retry_at = Some(Instant::now() + self.accept_backoff);
+        self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+    }
+
+    fn maybe_resume_accept(&mut self) {
+        if let Some(at) = self.accept_retry_at {
+            if Instant::now() >= at {
+                self.accept_retry_at = None;
+                if self
+                    .poller
+                    .add(self.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+                    .is_err()
+                {
+                    self.accept_failed();
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Timeouts apply whenever a responder flips the socket to
+        // blocking mode for the model call + write.
+        stream.set_read_timeout(Some(self.front.socket_timeout)).ok();
+        stream.set_write_timeout(Some(self.front.socket_timeout)).ok();
+        let conn = Conn::new(stream, self.front.socket_timeout);
+        self.insert(conn);
+    }
+
+    // ---- slot bookkeeping ----------------------------------------------
+
+    fn insert(&mut self, conn: Conn) {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        let token = ((self.gens[idx] as u64) << 32) | idx as u64;
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP)
+            .is_err()
+        {
+            self.free.push(idx);
+            return; // conn drops → closed
+        }
+        self.slots[idx] = Some(conn);
+    }
+
+    /// Take a connection out of its slot (and the interest set),
+    /// invalidating any still-queued events for the old token.
+    fn remove(&mut self, idx: usize) -> Conn {
+        let conn = self.slots[idx].take().expect("slot occupied");
+        self.poller.del(conn.stream.as_raw_fd()).ok();
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        conn
+    }
+
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        if idx < self.slots.len() && self.gens[idx] == gen && self.slots[idx].is_some() {
+            Some(idx)
+        } else {
+            None // stale: the slot moved on since this event was queued
+        }
+    }
+
+    // ---- connection state machine --------------------------------------
+
+    fn conn_ready(&mut self, token: u64) {
+        let Some(idx) = self.resolve(token) else {
+            return;
+        };
+        if self.slots[idx].as_ref().is_some_and(|c| c.discard > 0) {
+            self.drain_discard(idx);
+            return;
+        }
+        // Per-request chaos hook, fired once when the request's first
+        // bytes are due (mirrors the seed front's read_request entry).
+        {
+            let conn = self.slots[idx].as_mut().expect("resolved");
+            if !conn.fault_checked {
+                conn.fault_checked = true;
+                if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.read") {
+                    let mut conn = self.remove(idx);
+                    respond_and_count(&mut conn, 500, &format!("injected read fault: {msg}"));
+                    return;
+                }
+            }
+        }
+        let mut eof = false;
+        let mut scratch = [0u8; 8192];
+        loop {
+            let conn = self.slots[idx].as_mut().expect("resolved");
+            match std::io::Read::read(&mut conn.stream, &mut scratch) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => conn.buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        self.advance(idx, eof);
+    }
+
+    /// Parse whatever is buffered and move the connection along its
+    /// state machine.
+    fn advance(&mut self, idx: usize, eof: bool) {
+        let max_body = self.front.max_body;
+        let conn = self.slots[idx].as_mut().expect("resolved");
+        conn.idle_at = Instant::now() + self.front.socket_timeout;
+        match try_parse(&mut conn.buf, max_body) {
+            Parsed::NeedMore => {
+                if eof {
+                    let mut conn = self.remove(idx);
+                    close_on_eof(&mut conn);
+                }
+            }
+            Parsed::Invalid(status, msg) => {
+                let mut conn = self.remove(idx);
+                respond_and_count(&mut conn, status, &msg);
+            }
+            Parsed::TooLarge { content_length, discard } => {
+                let msg = format!(
+                    "body of {content_length} bytes exceeds the {max_body} byte limit"
+                );
+                conn.pending = Some((413, msg));
+                conn.discard = discard;
+                if eof || discard == 0 {
+                    self.finish_discard(idx);
+                }
+            }
+            Parsed::Complete(request, leftover) => {
+                let mut conn = self.remove(idx);
+                conn.buf = leftover;
+                conn.fault_checked = false;
+                self.pool.push(Job { conn, request: *request });
+            }
+        }
+    }
+
+    /// Discard an oversized body (bounded at parse time) so the close
+    /// doesn't RST the 413 off the wire, then send the deferred error.
+    fn drain_discard(&mut self, idx: usize) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            let conn = self.slots[idx].as_mut().expect("resolved");
+            match std::io::Read::read(&mut conn.stream, &mut scratch) {
+                Ok(0) => break,
+                Ok(n) => {
+                    conn.discard = conn.discard.saturating_sub(n);
+                    if conn.discard == 0 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let conn = self.slots[idx].as_mut().expect("resolved");
+                    conn.idle_at = Instant::now() + self.front.socket_timeout;
+                    return;
+                }
+                Err(_) => break,
+            }
+        }
+        self.finish_discard(idx);
+    }
+
+    fn finish_discard(&mut self, idx: usize) {
+        let mut conn = self.remove(idx);
+        if let Some((status, msg)) = conn.pending.take() {
+            respond_and_count(&mut conn, status, &msg);
+        }
+    }
+
+    /// A keep-alive connection handed back by a responder: parse any
+    /// pipelined bytes immediately, otherwise rejoin the interest set.
+    fn readmit(&mut self, mut conn: Conn) {
+        let max_body = self.front.max_body;
+        conn.idle_at = Instant::now() + self.front.socket_timeout;
+        match try_parse(&mut conn.buf, max_body) {
+            Parsed::NeedMore => self.insert(conn),
+            Parsed::Invalid(status, msg) => respond_and_count(&mut conn, status, &msg),
+            Parsed::TooLarge { content_length, discard } => {
+                let msg = format!(
+                    "body of {content_length} bytes exceeds the {max_body} byte limit"
+                );
+                if discard == 0 {
+                    respond_and_count(&mut conn, 413, &msg);
+                } else {
+                    conn.pending = Some((413, msg));
+                    conn.discard = discard;
+                    self.insert(conn);
+                }
+            }
+            Parsed::Complete(request, leftover) => {
+                conn.buf = leftover;
+                conn.fault_checked = false;
+                self.pool.push(Job { conn, request: *request });
+            }
+        }
+    }
+
+    // ---- timers & teardown ---------------------------------------------
+
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.slots.len() {
+            let expired = self.slots[idx].as_ref().is_some_and(|c| now >= c.idle_at);
+            if !expired {
+                continue;
+            }
+            let mut conn = self.remove(idx);
+            if let Some((status, msg)) = conn.pending.take() {
+                // Stalled mid-oversized-body: the deferred 413 is the
+                // more truthful answer than a generic timeout.
+                respond_and_count(&mut conn, status, &msg);
+            } else if conn.served == 0 || !conn.buf.is_empty() {
+                respond_and_count(&mut conn, 408, "request timed out");
+            }
+            // else: an idle keep-alive connection between requests —
+            // closing it silently is normal HTTP/1.1 behaviour.
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut byte = [0u8; 16];
+        while self.waker.recv(&mut byte).is_ok() {}
+    }
+
+    fn close_all(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(mut conn) = slot.take() {
+                if !conn.buf.is_empty() || conn.served == 0 {
+                    // Mid-request (or never-answered) at shutdown: a
+                    // best-effort 503 beats a silent close. Not counted —
+                    // the request never parsed. Idle keep-alive
+                    // connections just close.
+                    send_response(
+                        &mut conn.stream,
+                        503,
+                        &[],
+                        &error_json("server is shutting down"),
+                        false,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Write an error response from the event loop (socket still
+/// non-blocking — these bodies are far below the send buffer) and
+/// count it exactly like the responder path would.
+fn respond_and_count(conn: &mut Conn, status: u16, msg: &str) {
+    geotorch_telemetry::count!("serve.http.requests", 1);
+    count_error_status(status);
+    send_response(&mut conn.stream, status, &[], &error_json(msg), false);
+}
+
+/// The peer vanished. Mid-request (buffered bytes) or before its first
+/// request ever completed, that's a counted disconnect; after a served
+/// request with an empty buffer it's just a keep-alive close.
+fn close_on_eof(conn: &mut Conn) {
+    if !conn.buf.is_empty() || conn.served == 0 {
+        geotorch_telemetry::count!("serve.error.disconnect", 1);
+        geotorch_telemetry::count!("serve.http.requests", 1);
+    }
+}

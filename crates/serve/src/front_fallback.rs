@@ -1,0 +1,195 @@
+//! Portable fallback front for targets without the raw-syscall epoll
+//! module (anything that isn't x86_64/aarch64 Linux): a small pool of
+//! blocking accept threads, one connection handled at a time per
+//! thread, reusing the shared incremental parser and keep-alive logic
+//! from [`crate::http`]. Functionally equivalent — same status codes,
+//! same counters, same keep-alive semantics — but a stalled client
+//! does occupy a thread for up to the socket timeout, which is why the
+//! epoll front is the real implementation wherever it compiles.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{
+    count_error_status, error_json, route, send_response, try_parse, FrontState, Parsed,
+};
+use crate::ServeError;
+
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// The running fallback front: `http_workers` accept threads.
+pub(crate) struct Front {
+    front: Arc<FrontState>,
+    addr: SocketAddr,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl Front {
+    pub(crate) fn start(
+        listener: TcpListener,
+        front: Arc<FrontState>,
+        http_workers: usize,
+    ) -> Result<Front, ServeError> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Internal(format!("local_addr failed: {e}")))?;
+        let mut joins = Vec::new();
+        for i in 0..http_workers.max(1) {
+            let listener = listener
+                .try_clone()
+                .map_err(|e| ServeError::Internal(format!("listener clone failed: {e}")))?;
+            let front = Arc::clone(&front);
+            let join = std::thread::Builder::new()
+                .name(format!("serve-http-{i}"))
+                .spawn(move || accept_loop(&listener, &front))
+                .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
+            joins.push(join);
+        }
+        Ok(Front { front, addr, joins })
+    }
+
+    pub(crate) fn stop(&mut self) {
+        self.front.stop.store(true, Ordering::SeqCst);
+        // Unblock every thread parked in accept() with one dummy
+        // connection each; threads re-check the flag before handling.
+        for _ in 0..self.joins.len() {
+            TcpStream::connect(self.addr).ok();
+        }
+        for join in self.joins.drain(..) {
+            join.join().ok();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, front: &Arc<FrontState>) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    loop {
+        if front.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let failed = geotorch_telemetry::fault_point!("serve.http.accept").is_err();
+        let stream = if failed {
+            None
+        } else {
+            match listener.accept() {
+                Ok((stream, _)) => Some(stream),
+                Err(_) => None,
+            }
+        };
+        let Some(mut stream) = stream else {
+            // Transient accept failure (EMFILE, reset mid-handshake):
+            // back off instead of hot-looping.
+            geotorch_telemetry::count!("serve.error.accept", 1);
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            continue;
+        };
+        backoff = ACCEPT_BACKOFF_MIN;
+        if front.stop.load(Ordering::SeqCst) {
+            // Racing a shutdown: answer 503 instead of silently
+            // dropping a connection we already accepted. (The wake-up
+            // dummy connections land here too and ignore the bytes.)
+            send_response(
+                &mut stream,
+                503,
+                &[],
+                &error_json("server is shutting down"),
+                false,
+            );
+            return;
+        }
+        handle_connection(stream, front);
+    }
+}
+
+/// Serve requests off one connection until it closes, errors, opts out
+/// of keep-alive, or the server stops.
+fn handle_connection(mut stream: TcpStream, front: &FrontState) {
+    stream.set_read_timeout(Some(front.socket_timeout)).ok();
+    stream.set_write_timeout(Some(front.socket_timeout)).ok();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut served = 0u64;
+    let mut chunk = [0u8; 8192];
+    'requests: loop {
+        if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.read") {
+            respond_and_count(&mut stream, 500, &format!("injected read fault: {msg}"));
+            return;
+        }
+        loop {
+            match try_parse(&mut buf, front.max_body) {
+                Parsed::NeedMore => match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        if !buf.is_empty() || served == 0 {
+                            geotorch_telemetry::count!("serve.error.disconnect", 1);
+                            geotorch_telemetry::count!("serve.http.requests", 1);
+                        }
+                        return;
+                    }
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if served == 0 || !buf.is_empty() {
+                            respond_and_count(&mut stream, 408, "request timed out");
+                        }
+                        return;
+                    }
+                    Err(_) => {
+                        geotorch_telemetry::count!("serve.error.disconnect", 1);
+                        geotorch_telemetry::count!("serve.http.requests", 1);
+                        return;
+                    }
+                },
+                Parsed::Invalid(status, msg) => {
+                    respond_and_count(&mut stream, status, &msg);
+                    return;
+                }
+                Parsed::TooLarge {
+                    content_length,
+                    discard,
+                } => {
+                    // Discard the unread body so the close doesn't RST
+                    // the 413 off the wire.
+                    let mut remaining = discard;
+                    while remaining > 0 {
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => remaining = remaining.saturating_sub(n),
+                        }
+                    }
+                    let max = front.max_body;
+                    respond_and_count(
+                        &mut stream,
+                        413,
+                        &format!("body of {content_length} bytes exceeds the {max} byte limit"),
+                    );
+                    return;
+                }
+                Parsed::Complete(request, leftover) => {
+                    buf = leftover;
+                    let (status, headers, body) = route(&request, front);
+                    geotorch_telemetry::count!("serve.http.requests", 1);
+                    count_error_status(status);
+                    let keep = request.keep_alive && !front.stop.load(Ordering::SeqCst);
+                    if !send_response(&mut stream, status, &headers, &body, keep) || !keep {
+                        return;
+                    }
+                    served += 1;
+                    continue 'requests;
+                }
+            }
+        }
+    }
+}
+
+fn respond_and_count(stream: &mut TcpStream, status: u16, msg: &str) {
+    geotorch_telemetry::count!("serve.http.requests", 1);
+    count_error_status(status);
+    send_response(stream, status, &[], &error_json(msg), false);
+}

@@ -1,12 +1,14 @@
-//! A hand-rolled HTTP/1.1 server over `std::net::TcpListener`.
+//! A hand-rolled HTTP/1.1 layer over `std::net`.
 //!
 //! No external HTTP dependency: requests are parsed with a small
-//! byte-scanner (request line, headers, `Content-Length` body), bodies
-//! are JSON rendered through the vendored `serde_json`. A fixed pool of
-//! worker threads shares the listener (each holds its own
-//! `try_clone`d handle and blocks in `accept`); socket read/write
-//! timeouts bound how long a slow or stalled client can occupy a worker,
-//! so one bad peer cannot wedge an accept-loop thread.
+//! incremental byte-scanner ([`try_parse`]: request line → headers →
+//! `Content-Length` body) that works the same whether it is fed by the
+//! event-driven epoll front (non-blocking sockets, partial buffers) or
+//! the portable blocking fallback. The parsed request keeps the raw
+//! receive buffer and hands the body out as a slice — no copy between
+//! socket and JSON decoder. HTTP/1.1 keep-alive is honored (including
+//! pipelined requests already sitting in the buffer); `Connection:
+//! close` and HTTP/1.0 defaults behave per spec.
 //!
 //! | Endpoint | Method | Body | Response |
 //! |---|---|---|---|
@@ -21,17 +23,17 @@
 //! carry `X-Deadline-Ms` to override the server's default deadline.
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use geotorch_tensor::Tensor;
 use serde::{Serialize, Value};
 
 use crate::batcher::{BatchConfig, ModelClient, ModelWorker};
+use crate::front::Front;
 use crate::{Registry, ServeError};
 
 /// Server configuration.
@@ -39,7 +41,9 @@ use crate::{Registry, ServeError};
 pub struct ServeConfig {
     /// Micro-batching and admission knobs shared by every served model.
     pub batch: BatchConfig,
-    /// HTTP worker threads sharing the accept loop.
+    /// Responder threads behind the event loop: they run routing, the
+    /// (blocking) model call, and the response write for complete
+    /// requests. Slow clients never occupy one.
     pub http_workers: usize,
     /// Turn on `geotorch-telemetry` recording at startup so `/metrics`
     /// has data. Leave `false` to manage telemetry yourself.
@@ -48,9 +52,10 @@ pub struct ServeConfig {
     /// client sends no `X-Deadline-Ms` header. `0` disables the default
     /// (requests then only time out if the client asks for one).
     pub default_deadline_ms: u64,
-    /// Socket read/write timeout in milliseconds. A client that stalls
-    /// mid-request is answered with 408 (when still writable) and
-    /// disconnected, freeing the worker.
+    /// Per-connection idle/read budget in milliseconds, enforced by the
+    /// event loop's timer sweep. A client that stalls mid-request is
+    /// answered with 408 and disconnected; an idle keep-alive
+    /// connection is closed silently.
     pub socket_timeout_ms: u64,
     /// Largest accepted request body in bytes; larger bodies get 413.
     pub max_body: usize,
@@ -74,28 +79,29 @@ impl Default for ServeConfig {
     }
 }
 
-/// A running inference server: model owner threads plus an HTTP front.
+/// A running inference server: model replica threads plus the
+/// event-driven HTTP front.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     front: Arc<FrontState>,
-    http_joins: Vec<JoinHandle<()>>,
+    front_handle: Option<Front>,
     workers: BTreeMap<String, ModelWorker>,
     drain_timeout: Duration,
 }
 
-/// Everything an HTTP worker needs, shared across the pool.
-struct FrontState {
-    clients: BTreeMap<String, ModelClient>,
+/// Everything the front (event loop + responders) needs, shared.
+pub(crate) struct FrontState {
+    pub(crate) clients: BTreeMap<String, ModelClient>,
     /// Set by [`Server::begin_drain`]: `/healthz` flips to `draining`
     /// (status 503) and predictions are refused, while the listener
     /// stays up so load balancers see the state change.
-    draining: AtomicBool,
-    /// Set by shutdown proper: accept loops exit.
-    stop: Arc<AtomicBool>,
-    default_deadline: Option<Duration>,
-    socket_timeout: Duration,
-    max_body: usize,
+    pub(crate) draining: AtomicBool,
+    /// Set by shutdown proper: the event loop and responders exit.
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) default_deadline: Option<Duration>,
+    pub(crate) socket_timeout: Duration,
+    pub(crate) max_body: usize,
 }
 
 impl Server {
@@ -133,23 +139,12 @@ impl Server {
             socket_timeout: Duration::from_millis(config.socket_timeout_ms.max(1)),
             max_body: config.max_body,
         });
-        let mut http_joins = Vec::new();
-        for i in 0..config.http_workers.max(1) {
-            let listener = listener
-                .try_clone()
-                .map_err(|e| ServeError::Internal(format!("listener clone failed: {e}")))?;
-            let front = Arc::clone(&front);
-            let join = std::thread::Builder::new()
-                .name(format!("serve-http-{i}"))
-                .spawn(move || accept_loop(&listener, &front))
-                .map_err(|e| ServeError::Internal(format!("spawn failed: {e}")))?;
-            http_joins.push(join);
-        }
+        let front_handle = Front::start(listener, Arc::clone(&front), config.http_workers)?;
         Ok(Server {
             addr,
             shutdown,
             front,
-            http_joins,
+            front_handle: Some(front_handle),
             workers,
             drain_timeout: Duration::from_millis(config.drain_timeout_ms.max(1)),
         })
@@ -174,9 +169,9 @@ impl Server {
         self.front.draining.store(true, Ordering::SeqCst);
     }
 
-    /// Stop accepting connections, flush in-flight batches, join every
-    /// thread — giving up on a wedged model thread after the configured
-    /// drain hard timeout. Every admitted request is still answered.
+    /// Stop accepting connections, answer every request already read,
+    /// flush in-flight batches, join every thread — giving up on a
+    /// wedged model thread after the configured drain hard timeout.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -186,17 +181,14 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock every worker parked in accept() with one dummy
-        // connection each; workers re-check the flag before handling.
-        for _ in 0..self.http_joins.len() {
-            TcpStream::connect(self.addr).ok();
+        // The front first: the event loop exits (503-ing half-read
+        // requests), then the responders finish everything already
+        // queued — the model workers are still alive for them.
+        if let Some(mut front) = self.front_handle.take() {
+            front.stop();
         }
-        for join in self.http_joins.drain(..) {
-            join.join().ok();
-        }
-        // HTTP workers (and their ModelClient clones) are gone; drain
-        // each model queue and join the owner threads, spending at most
-        // the hard timeout across all of them.
+        // Now drain each model queue and join the replica threads,
+        // spending at most the hard timeout across all of them.
         let deadline = Instant::now() + self.drain_timeout;
         for (_, worker) in std::mem::take(&mut self.workers) {
             let left = deadline
@@ -213,53 +205,9 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, front: &Arc<FrontState>) {
-    loop {
-        if front.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let mut stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => continue,
-        };
-        if front.stop.load(Ordering::SeqCst) {
-            // Racing a shutdown: answer 503 instead of silently
-            // dropping a connection we already accepted. (The wake-up
-            // dummy connections land here too and ignore the bytes.)
-            write_response(
-                &mut stream,
-                503,
-                &[],
-                &error_json("server is shutting down"),
-            );
-            return;
-        }
-        handle_connection(stream, front);
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, front: &FrontState) {
-    stream.set_read_timeout(Some(front.socket_timeout)).ok();
-    stream.set_write_timeout(Some(front.socket_timeout)).ok();
-    let (status, headers, body) = match read_request(&mut stream, front.max_body) {
-        Ok(request) => route(&request, front),
-        Err(ReadError::Disconnected) => {
-            // The client is gone; nothing to write back, but the
-            // worker survives and the event is visible in /metrics.
-            geotorch_telemetry::count!("serve.error.disconnect", 1);
-            geotorch_telemetry::count!("serve.http.requests", 1);
-            return;
-        }
-        Err(ReadError::Respond(status, msg)) => (status, Vec::new(), error_json(&msg)),
-    };
-    geotorch_telemetry::count!("serve.http.requests", 1);
-    count_error_status(status);
-    write_response(&mut stream, status, &headers, &body);
-}
-
 /// Per-status error counters (`serve.error.*`), asserted by the
 /// error-path test suite.
-fn count_error_status(status: u16) {
+pub(crate) fn count_error_status(status: u16) {
     match status {
         400 => geotorch_telemetry::count!("serve.error.bad_request", 1),
         404 => geotorch_telemetry::count!("serve.error.not_found", 1),
@@ -273,15 +221,137 @@ fn count_error_status(status: u16) {
     }
 }
 
-struct HttpRequest {
-    method: String,
-    path: String,
+/// One parsed request. Owns its raw receive buffer; the body is the
+/// tail slice starting at `body_start` — handed to the JSON decoder
+/// without a copy.
+pub(crate) struct HttpRequest {
+    pub(crate) method: String,
+    pub(crate) path: String,
     /// Parsed `X-Deadline-Ms` header, unvalidated.
-    deadline_ms: Option<String>,
-    body: String,
+    pub(crate) deadline_ms: Option<String>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection`
+    /// header wins either way).
+    pub(crate) keep_alive: bool,
+    raw: Vec<u8>,
+    body_start: usize,
 }
 
-type Response = (u16, Vec<(&'static str, String)>, String);
+impl HttpRequest {
+    /// The request body (utf-8, validated at parse time).
+    pub(crate) fn body(&self) -> &str {
+        std::str::from_utf8(&self.raw[self.body_start..]).unwrap_or_default()
+    }
+}
+
+/// Outcome of feeding buffered bytes to the incremental parser.
+pub(crate) enum Parsed {
+    /// Not a full request yet; keep the buffer and read more.
+    NeedMore,
+    /// One complete request, plus any pipelined bytes that followed it
+    /// (the start of the next request on a keep-alive connection).
+    Complete(Box<HttpRequest>, Vec<u8>),
+    /// Unparseable: answer with this status and message, then close.
+    Invalid(u16, String),
+    /// `Content-Length` over the limit. The caller should discard up to
+    /// `discard` more bytes (so the close doesn't RST the unread data
+    /// off the wire) and then answer 413.
+    TooLarge {
+        content_length: usize,
+        discard: usize,
+    },
+}
+
+/// Try to parse one request out of `buf`. On [`Parsed::Complete`] the
+/// buffer is consumed (moved into the request); on every other outcome
+/// it is left for the caller — untouched except [`Parsed::TooLarge`],
+/// which clears it.
+pub(crate) fn try_parse(buf: &mut Vec<u8>, max_body: usize) -> Parsed {
+    let Some(header_end) = find_header_end(buf) else {
+        if buf.len() > 64 << 10 {
+            return Parsed::Invalid(400, "headers too large".to_string());
+        }
+        return Parsed::NeedMore;
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Parsed::Invalid(400, format!("malformed request line `{request_line}`"));
+    }
+    let mut content_length = 0usize;
+    let mut deadline_ms = None;
+    let mut connection: Option<String> = None;
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            let key = key.trim();
+            if key.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Parsed::Invalid(
+                            400,
+                            format!("bad content-length `{}`", value.trim()),
+                        );
+                    }
+                };
+            } else if key.eq_ignore_ascii_case("x-deadline-ms") {
+                deadline_ms = Some(value.trim().to_string());
+            } else if key.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
+            }
+        }
+    }
+    let body_start = header_end + 4;
+    if content_length > max_body {
+        // How much of the oversized body is still in flight, bounded by
+        // 2x the limit so a hostile Content-Length can't make us read
+        // forever.
+        let discard = content_length
+            .saturating_sub(buf.len().saturating_sub(body_start))
+            .min(2 * max_body);
+        buf.clear();
+        return Parsed::TooLarge {
+            content_length,
+            discard,
+        };
+    }
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Parsed::NeedMore;
+    }
+    let keep_alive = if version.eq_ignore_ascii_case("HTTP/1.0") {
+        connection.as_deref() == Some("keep-alive")
+    } else {
+        connection.as_deref() != Some("close")
+    };
+    let leftover = buf.split_off(total);
+    let raw = std::mem::take(buf);
+    if std::str::from_utf8(&raw[body_start..]).is_err() {
+        return Parsed::Invalid(400, "body is not utf-8".to_string());
+    }
+    Parsed::Complete(
+        Box::new(HttpRequest {
+            method,
+            path,
+            deadline_ms,
+            keep_alive,
+            raw,
+            body_start,
+        }),
+        leftover,
+    )
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+pub(crate) type Response = (u16, Vec<(&'static str, String)>, String);
 
 fn respond(status: u16, body: String) -> Response {
     (status, Vec::new(), body)
@@ -299,7 +369,7 @@ fn status_for(err: &ServeError) -> u16 {
     }
 }
 
-fn route(request: &HttpRequest, front: &FrontState) -> Response {
+pub(crate) fn route(request: &HttpRequest, front: &FrontState) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(front),
         ("GET", "/metrics") => respond(200, geotorch_telemetry::snapshot_json()),
@@ -398,7 +468,7 @@ fn predict(
             Some(Duration::from_millis(ms))
         }
     };
-    let sample: Tensor = serde_json::from_str(&request.body)
+    let sample: Tensor = serde_json::from_str(request.body())
         .map_err(|e| ServeError::BadRequest(format!("tensor payload: {e}")))?;
     let output = client.predict_with_deadline(sample, deadline)?;
     let mut fields = vec![("model".to_string(), name.to_value())];
@@ -413,129 +483,28 @@ fn render(value: &Value) -> String {
     serde_json::to_string(value).unwrap_or_else(|e| error_json(&e.to_string()))
 }
 
-fn error_json(msg: &str) -> String {
+pub(crate) fn error_json(msg: &str) -> String {
     render(&Value::Object(vec![(
         "error".to_string(),
         msg.to_value(),
     )]))
 }
 
-/// Why a request could not be read.
-enum ReadError {
-    /// The client vanished mid-request; there is no one to answer.
-    Disconnected,
-    /// Answer with this status and message, then close.
-    Respond(u16, String),
-}
-
-fn read_io_error(e: std::io::Error) -> ReadError {
-    match e.kind() {
-        // A read timeout surfaces as WouldBlock (unix) or TimedOut:
-        // the client was too slow for the socket timeout.
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-            ReadError::Respond(408, "request timed out".to_string())
-        }
-        _ => ReadError::Disconnected,
-    }
-}
-
-/// Read one request (chaos hook: `serve.http.read`).
-fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, ReadError> {
-    if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.read") {
-        return Err(ReadError::Respond(500, format!("injected read fault: {msg}")));
-    }
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > 64 << 10 {
-            return Err(ReadError::Respond(400, "headers too large".to_string()));
-        }
-        let n = stream.read(&mut chunk).map_err(read_io_error)?;
-        if n == 0 {
-            return Err(ReadError::Disconnected);
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-    if method.is_empty() || path.is_empty() {
-        return Err(ReadError::Respond(
-            400,
-            format!("malformed request line `{request_line}`"),
-        ));
-    }
-    let mut content_length = 0usize;
-    let mut deadline_ms = None;
-    for line in lines {
-        if let Some((key, value)) = line.split_once(':') {
-            let key = key.trim();
-            if key.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    ReadError::Respond(400, format!("bad content-length `{}`", value.trim()))
-                })?;
-            } else if key.eq_ignore_ascii_case("x-deadline-ms") {
-                deadline_ms = Some(value.trim().to_string());
-            }
-        }
-    }
-    if content_length > max_body {
-        // Discard what the client already sent (bounded by 2x the limit)
-        // so closing the socket with unread bytes doesn't RST the
-        // connection before the 413 is delivered.
-        let mut remaining = content_length
-            .saturating_sub(buf.len() - (header_end + 4))
-            .min(2 * max_body);
-        while remaining > 0 {
-            match stream.read(&mut chunk) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => remaining = remaining.saturating_sub(n),
-            }
-        }
-        return Err(ReadError::Respond(
-            413,
-            format!("body of {content_length} bytes exceeds the {max_body} byte limit"),
-        ));
-    }
-    let mut body = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(read_io_error)?;
-        if n == 0 {
-            return Err(ReadError::Disconnected);
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-    let body = String::from_utf8(body)
-        .map_err(|_| ReadError::Respond(400, "body is not utf-8".to_string()))?;
-    Ok(HttpRequest {
-        method,
-        path,
-        deadline_ms,
-        body,
-    })
-}
-
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn write_response(
+/// Write one response (chaos hook: `serve.http.write` — an injected
+/// fault closes the connection without writing). Returns whether the
+/// full response went out; the caller closes the connection when it
+/// didn't, or when `keep_alive` is false.
+pub(crate) fn send_response(
     stream: &mut TcpStream,
     status: u16,
     extra_headers: &[(&'static str, String)],
     body: &str,
-) {
+    keep_alive: bool,
+) -> bool {
     if let Err(msg) = geotorch_telemetry::fault_point!("serve.http.write") {
         // Simulate a broken response path: close without writing.
         let _ = msg;
-        return;
+        return false;
     }
     let reason = match status {
         200 => "OK",
@@ -552,10 +521,12 @@ fn write_response(
     for (key, value) in extra_headers {
         headers.push_str(&format!("{key}: {value}\r\n"));
     }
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n{headers}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n{headers}Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     );
-    stream.write_all(response.as_bytes()).ok();
+    let ok = stream.write_all(response.as_bytes()).is_ok();
     stream.flush().ok();
+    ok
 }

@@ -17,10 +17,19 @@
 //!   requests queue up to `max_batch`/`max_wait_ms`, are stacked into one
 //!   batched no-grad forward on the configured device, and the rows of
 //!   the output are scattered back to the callers.
-//! * [`http`] — a hand-rolled HTTP/1.1 server on `std::net::TcpListener`
-//!   with a worker-thread accept loop and JSON bodies: `POST
+//! * [`http`] — a hand-rolled HTTP/1.1 layer with JSON bodies: `POST
 //!   /predict/<model>`, `GET /healthz`, and `GET /metrics` (a
-//!   `geotorch-telemetry` snapshot including the `serve.*` stats).
+//!   `geotorch-telemetry` snapshot including the `serve.*` stats). The
+//!   front is event-driven on Linux: one epoll readiness loop (raw
+//!   syscalls, still zero-dep) owns every idle or half-read connection
+//!   with incremental parsing, keep-alive, and per-connection idle
+//!   timers, while a responder pool runs the blocking model calls — so
+//!   a slow client costs a buffer, not a thread. Other targets fall
+//!   back to a blocking accept pool with the same semantics.
+//!
+//! Models can additionally be sharded across N replica threads
+//! ([`BatchConfig::replicas`]) with least-loaded routing, since
+//! checkpointed weights are immutable after load.
 //!
 //! ```no_run
 //! use geotorch_serve::{Registry, ServeConfig, Server};
@@ -39,6 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod epoll;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod front;
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[path = "front_fallback.rs"]
+mod front;
 pub mod http;
 pub mod registry;
 

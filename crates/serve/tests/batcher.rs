@@ -166,7 +166,7 @@ fn max_wait_flushes_a_partial_batch() {
     let log_clone = Arc::clone(&log);
     // max_batch far larger than the traffic: only the timer can flush.
     let worker = ModelWorker::spawn("doubler", cpu_config(64, 30), move || {
-        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+        Ok(Box::new(Doubler { log: Arc::clone(&log_clone) }) as Box<dyn ServeModel>)
     })
     .expect("worker starts");
     let client = worker.client();
@@ -194,7 +194,7 @@ fn concurrent_requests_get_stacked() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let log_clone = Arc::clone(&log);
     let worker = ModelWorker::spawn("doubler", cpu_config(K, 500), move || {
-        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+        Ok(Box::new(Doubler { log: Arc::clone(&log_clone) }) as Box<dyn ServeModel>)
     })
     .expect("worker starts");
 
@@ -232,7 +232,7 @@ fn max_batch_one_serves_every_request_alone() {
     let log = Arc::new(Mutex::new(Vec::new()));
     let log_clone = Arc::clone(&log);
     let worker = ModelWorker::spawn("doubler", cpu_config(1, 50), move || {
-        Ok(Box::new(Doubler { log: log_clone }) as Box<dyn ServeModel>)
+        Ok(Box::new(Doubler { log: Arc::clone(&log_clone) }) as Box<dyn ServeModel>)
     })
     .expect("worker starts");
     std::thread::scope(|scope| {

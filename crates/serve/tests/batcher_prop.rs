@@ -54,11 +54,15 @@ proptest! {
         max_wait_ms in 0u64..4,
         clients in 1usize..5,
         per_client in 1usize..5,
+        replicas in 1usize..=4,
         shape_sel in prop::collection::vec(0u8..4, 16..=16),
         jitter in prop::collection::vec(0u64..3, 16..=16),
     ) {
         let batches = Arc::new(Mutex::new(Vec::new()));
         let batches_clone = Arc::clone(&batches);
+        // Every replica builds its own Doubler, but they all log into
+        // the same batch journal — so the partition invariant (4) is
+        // checked across the whole replica set.
         let worker = ModelWorker::spawn(
             "doubler",
             BatchConfig {
@@ -66,10 +70,12 @@ proptest! {
                 max_wait_ms,
                 device: Device::Cpu,
                 queue_bound: 256,
+                replicas,
             },
-            move || Ok(Box::new(Doubler { batches: batches_clone }) as Box<dyn ServeModel>),
+            move || Ok(Box::new(Doubler { batches: Arc::clone(&batches_clone) }) as Box<dyn ServeModel>),
         )
         .expect("worker starts");
+        prop_assert_eq!(worker.replicas(), replicas);
 
         let barrier = Arc::new(Barrier::new(clients));
         let per_client_results: Vec<Vec<(Tensor, Tensor)>> = std::thread::scope(|scope| {

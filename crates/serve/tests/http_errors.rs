@@ -79,6 +79,7 @@ fn start_server(queue_bound: usize, socket_timeout_ms: u64, max_body: usize) -> 
             max_wait_ms: 1,
             device: Device::Cpu,
             queue_bound,
+            replicas: 1,
         },
         http_workers: 4,
         enable_telemetry: true,

@@ -38,6 +38,7 @@ fn cpu_config(max_batch: usize, max_wait_ms: u64, queue_bound: usize) -> BatchCo
         max_wait_ms,
         device: Device::Cpu,
         queue_bound,
+        replicas: 1,
     }
 }
 
@@ -86,7 +87,10 @@ fn slow_worker(ms: u64, config: BatchConfig) -> (ModelWorker, Arc<Mutex<Vec<f32>
     let log = Arc::new(Mutex::new(Vec::new()));
     let log_clone = Arc::clone(&log);
     let worker = ModelWorker::spawn("slow", config, move || {
-        Ok(Box::new(Slow { ms, log: log_clone }) as Box<dyn ServeModel>)
+        Ok(Box::new(Slow {
+            ms,
+            log: Arc::clone(&log_clone),
+        }) as Box<dyn ServeModel>)
     })
     .expect("worker starts");
     (worker, log)

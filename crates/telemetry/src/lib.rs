@@ -141,7 +141,7 @@ pub fn register_dynamic(name: String) -> &'static Stat {
 }
 
 /// A gauge provider: polled at snapshot time.
-type GaugeFn = fn() -> u64;
+type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
 
 fn gauges() -> &'static Mutex<Vec<(&'static str, GaugeFn)>> {
     static GAUGES: OnceLock<Mutex<Vec<(&'static str, GaugeFn)>>> = OnceLock::new();
@@ -159,6 +159,23 @@ fn gauges() -> &'static Mutex<Vec<(&'static str, GaugeFn)>> {
 /// (diff two snapshots to measure an interval). Re-registering a name
 /// replaces the previous provider.
 pub fn register_gauge(name: &'static str, read: fn() -> u64) {
+    register_gauge_with(name, Box::new(read));
+}
+
+/// [`register_gauge`] for dynamically named gauges with capturing
+/// providers (leaks the name; intended for small bounded families like
+/// per-replica queue depths — `serve.replica_depth.<model>.<i>`).
+/// Re-registering a name replaces the previous provider, so a subsystem
+/// that restarts (e.g. a fresh server in tests) reports its live state
+/// rather than a stale closure's.
+pub fn register_gauge_dynamic<F>(name: String, read: F)
+where
+    F: Fn() -> u64 + Send + Sync + 'static,
+{
+    register_gauge_with(Box::leak(name.into_boxed_str()), Box::new(read));
+}
+
+fn register_gauge_with(name: &'static str, read: GaugeFn) {
     let mut gauges = gauges().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(slot) = gauges.iter_mut().find(|(n, _)| *n == name) {
         slot.1 = read;
