@@ -31,8 +31,10 @@
 pub mod grid;
 pub mod loader;
 pub mod raster;
+pub mod samplers;
 pub mod synth;
 
 pub use grid::{GridDatasetBuilder, Representation, StBatch, StGridDataset, StSample};
 pub use loader::{chronological_split, shuffled_split, BatchIndices};
 pub use raster::{RasterBatchData, RasterDataset};
+pub use samplers::{GridSampler, RandomSampler, Tile};

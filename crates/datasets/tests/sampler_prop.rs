@@ -1,0 +1,118 @@
+//! Property tests for the windowed samplers, over random roi extents,
+//! tile sizes, and strides:
+//!
+//! 1. `GridSampler` covers every pixel of the roi — no gaps, ever;
+//! 2. every window lies entirely inside the roi (edge windows are
+//!    clamped, never zero-padded past the extent);
+//! 3. iteration order is deterministic row-major and matches `window(i)`;
+//! 4. `stride == tile` on a divisible extent is an exact partition:
+//!    each pixel is covered exactly once;
+//! 5. `RandomSampler` is bounds-checked and seed-deterministic.
+
+use geotorch_datasets::{GridSampler, RandomSampler};
+use geotorch_raster::Window;
+use proptest::prelude::*;
+
+/// A roi plus a tile/stride pair that `GridSampler::new` accepts.
+fn grid_params() -> impl Strategy<Value = (Window, (usize, usize), (usize, usize))> {
+    // Random anchored roi so the tests also exercise non-zero offsets.
+    (1usize..48, 1usize..48, 0usize..16, 0usize..16).prop_flat_map(|(h, w, row, col)| {
+        (1..=h, 1..=w).prop_flat_map(move |(th, tw)| {
+            (1..=th, 1..=tw).prop_map(move |(sh, sw)| {
+                (Window::new(row, col, h, w), (th, tw), (sh, sw))
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn grid_sampler_covers_every_pixel_within_bounds(
+        (roi, tile, stride) in grid_params()
+    ) {
+        let sampler = GridSampler::new(roi, tile, stride).unwrap();
+        let mut coverage = vec![0u32; roi.height * roi.width];
+        for window in sampler.windows() {
+            // Clamped, not padded: the window never leaves the roi.
+            prop_assert!(window.row >= roi.row && window.col >= roi.col);
+            prop_assert!(window.end_row() <= roi.end_row());
+            prop_assert!(window.end_col() <= roi.end_col());
+            prop_assert_eq!(window.height, tile.0);
+            prop_assert_eq!(window.width, tile.1);
+            for r in window.row..window.end_row() {
+                for c in window.col..window.end_col() {
+                    coverage[(r - roi.row) * roi.width + (c - roi.col)] += 1;
+                }
+            }
+        }
+        let gaps = coverage.iter().filter(|&&n| n == 0).count();
+        prop_assert_eq!(gaps, 0, "uncovered pixels in roi {:?}", roi);
+    }
+
+    #[test]
+    fn grid_sampler_order_is_row_major_and_indexable(
+        (roi, tile, stride) in grid_params()
+    ) {
+        let sampler = GridSampler::new(roi, tile, stride).unwrap();
+        let collected: Vec<Window> = sampler.windows().collect();
+        prop_assert_eq!(collected.len(), sampler.len());
+        // `window(i)` agrees with iteration order.
+        for (i, window) in collected.iter().enumerate() {
+            prop_assert_eq!(sampler.window(i), Some(*window));
+        }
+        // Row-major: sort key (row, col) is strictly increasing.
+        for pair in collected.windows(2) {
+            prop_assert!(
+                (pair[0].row, pair[0].col) < (pair[1].row, pair[1].col),
+                "windows out of row-major order: {:?} then {:?}", pair[0], pair[1]
+            );
+        }
+        // Determinism: a second iteration yields the same sequence.
+        let again: Vec<Window> = sampler.windows().collect();
+        prop_assert_eq!(collected, again);
+    }
+
+    #[test]
+    fn stride_equal_tile_partitions_divisible_extents(
+        tiles_down in 1usize..6,
+        tiles_across in 1usize..6,
+        th in 1usize..12,
+        tw in 1usize..12,
+    ) {
+        let roi = Window::new(0, 0, tiles_down * th, tiles_across * tw);
+        let sampler = GridSampler::new(roi, (th, tw), (th, tw)).unwrap();
+        prop_assert_eq!(sampler.grid_shape(), (tiles_down, tiles_across));
+        let mut coverage = vec![0u32; roi.height * roi.width];
+        for window in sampler.windows() {
+            for r in window.row..window.end_row() {
+                for c in window.col..window.end_col() {
+                    coverage[r * roi.width + c] += 1;
+                }
+            }
+        }
+        // Exact non-overlapping tiling: every pixel covered exactly once.
+        prop_assert!(coverage.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn random_sampler_stays_in_bounds_and_replays_from_seed(
+        (roi, tile, _) in grid_params(),
+        length in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let windows: Vec<Window> =
+            RandomSampler::new(roi, tile, length, seed).unwrap().collect();
+        prop_assert_eq!(windows.len(), length);
+        for window in &windows {
+            prop_assert_eq!((window.height, window.width), tile);
+            prop_assert!(window.row >= roi.row && window.col >= roi.col);
+            prop_assert!(window.end_row() <= roi.end_row());
+            prop_assert!(window.end_col() <= roi.end_col());
+        }
+        let replay: Vec<Window> =
+            RandomSampler::new(roi, tile, length, seed).unwrap().collect();
+        prop_assert_eq!(windows, replay);
+    }
+}

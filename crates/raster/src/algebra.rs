@@ -7,24 +7,24 @@
 
 use crate::error::{RasterError, RasterResult};
 use crate::raster::Raster;
+use geotorch_tensor::pool;
 
 /// Normalized difference of two bands: `(b1 - b2) / (b1 + b2)`, with 0
 /// where the denominator vanishes. This is the generic form behind NDVI,
 /// NDWI, NDBI, and friends.
+///
+/// The returned band comes from the tensor pool; callers that consume it
+/// (e.g. `push_band`) should `pool::release` it afterwards so chained
+/// pipelines stay allocation-free.
 pub fn normalized_difference(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<f32>> {
-    let a = r.band(band1)?;
-    let b = r.band(band2)?;
-    Ok(a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let denom = x + y;
-            if denom.abs() < f32::EPSILON {
-                0.0
-            } else {
-                (x - y) / denom
-            }
-        })
-        .collect())
+    zip_bands(r, band1, band2, |x, y| {
+        let denom = x + y;
+        if denom.abs() < f32::EPSILON {
+            0.0
+        } else {
+            (x - y) / denom
+        }
+    })
 }
 
 /// NDVI (vegetation): normalized difference of NIR and red bands.
@@ -73,7 +73,7 @@ pub fn band_mode(r: &Raster, band: usize, levels: usize) -> RasterResult<f32> {
     Ok(lo + (best as f32 + 0.5) / levels as f32 * (hi - lo))
 }
 
-/// Elementwise combination of two bands.
+/// Elementwise combination of two bands into a pooled output band.
 fn zip_bands(
     r: &Raster,
     band1: usize,
@@ -82,7 +82,11 @@ fn zip_bands(
 ) -> RasterResult<Vec<f32>> {
     let a = r.band(band1)?;
     let b = r.band(band2)?;
-    Ok(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect())
+    let mut out = pool::alloc_uninit(a.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(x, y);
+    }
+    Ok(out)
 }
 
 /// Sum of two bands.
@@ -105,9 +109,19 @@ pub fn divide_bands(r: &Raster, band1: usize, band2: usize) -> RasterResult<Vec<
     zip_bands(r, band1, band2, |a, b| if b.abs() < f32::EPSILON { 0.0 } else { a / b })
 }
 
+/// Elementwise map of one band into a pooled output band.
+fn map_band(r: &Raster, band: usize, f: impl Fn(f32) -> f32) -> RasterResult<Vec<f32>> {
+    let a = r.band(band)?;
+    let mut out = pool::alloc_uninit(a.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = f(x);
+    }
+    Ok(out)
+}
+
 /// Square root of a band (negative samples clamp to 0).
 pub fn band_sqrt(r: &Raster, band: usize) -> RasterResult<Vec<f32>> {
-    Ok(r.band(band)?.iter().map(|&v| v.max(0.0).sqrt()).collect())
+    map_band(r, band, |v| v.max(0.0).sqrt())
 }
 
 /// Elementwise modulo of a band by a scalar divisor.
@@ -115,7 +129,7 @@ pub fn band_modulo(r: &Raster, band: usize, divisor: f32) -> RasterResult<Vec<f3
     if divisor.abs() < f32::EPSILON {
         return Err(RasterError::InvalidArgument("modulo by zero".into()));
     }
-    Ok(r.band(band)?.iter().map(|&v| v.rem_euclid(divisor)).collect())
+    map_band(r, band, |v| v.rem_euclid(divisor))
 }
 
 /// Bitwise AND of two bands after rounding samples to `u32`.
@@ -139,14 +153,26 @@ pub fn value_range(samples: &[f32]) -> (f32, f32) {
     })
 }
 
-/// Min-max normalise a band into `[0, 1]` (constant bands map to 0).
-pub fn normalize_band(samples: &[f32]) -> Vec<f32> {
+/// Min-max normalise a band into `[0, 1]` in place (constant bands map
+/// to 0) — the allocation-free primitive behind [`normalize_band`].
+pub fn normalize_band_into(samples: &mut [f32]) {
     let (lo, hi) = value_range(samples);
     let span = hi - lo;
     if span.abs() < f32::EPSILON {
-        return vec![0.0; samples.len()];
+        samples.fill(0.0);
+        return;
     }
-    samples.iter().map(|&v| (v - lo) / span).collect()
+    for v in samples {
+        *v = (*v - lo) / span;
+    }
+}
+
+/// Min-max normalise a band into `[0, 1]` (constant bands map to 0).
+/// Returns a pooled buffer.
+pub fn normalize_band(samples: &[f32]) -> Vec<f32> {
+    let mut out = pool::alloc_copy(samples);
+    normalize_band_into(&mut out);
+    out
 }
 
 #[cfg(test)]

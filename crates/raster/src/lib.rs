@@ -18,8 +18,10 @@ pub mod algebra;
 pub mod error;
 pub mod glcm;
 pub mod gtiff;
+pub mod mosaic;
 pub mod raster;
 pub mod transforms;
 
 pub use error::{RasterError, RasterResult};
+pub use mosaic::{core_of, BlendMode, MosaicAccumulator, Window};
 pub use raster::{GeoTransform, Raster};

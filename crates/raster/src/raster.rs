@@ -1,8 +1,14 @@
 //! The multi-band raster data model.
+//!
+//! Raster sample buffers live on the tensor pool: `clone`, `zeros`,
+//! window reads, and band inserts draw from recycled size-class shelves
+//! and `Drop` returns the buffer, so chip-scale augmentation loops and
+//! scene-scale tile extraction run allocation-free at steady state.
 
-use geotorch_tensor::Tensor;
+use geotorch_tensor::{pool, Tensor};
 
 use crate::error::{RasterError, RasterResult};
+use crate::mosaic::Window;
 
 /// Affine mapping from pixel coordinates to world coordinates:
 /// `world_x = origin_x + col * pixel_width`,
@@ -37,11 +43,22 @@ impl GeoTransform {
             self.origin_y - (row as f64 + 0.5) * self.pixel_height,
         )
     }
+
+    /// The transform of a sub-window anchored at pixel `(row, col)` of
+    /// this raster: same scale, origin moved to the window corner.
+    pub fn for_window(&self, row: usize, col: usize) -> GeoTransform {
+        GeoTransform {
+            origin_x: self.origin_x + col as f64 * self.pixel_width,
+            origin_y: self.origin_y - row as f64 * self.pixel_height,
+            pixel_width: self.pixel_width,
+            pixel_height: self.pixel_height,
+        }
+    }
 }
 
 /// A multi-band raster image: `bands × height × width` of `f32` samples
-/// plus georeferencing metadata.
-#[derive(Debug, Clone, PartialEq)]
+/// plus georeferencing metadata. Storage is pooled (see module docs).
+#[derive(Debug, PartialEq)]
 pub struct Raster {
     data: Vec<f32>,
     bands: usize,
@@ -51,6 +68,25 @@ pub struct Raster {
     pub transform: GeoTransform,
     /// Coordinate reference system as an EPSG code (0 = unspecified).
     pub epsg: u32,
+}
+
+impl Clone for Raster {
+    fn clone(&self) -> Raster {
+        Raster {
+            data: pool::alloc_copy(&self.data),
+            bands: self.bands,
+            height: self.height,
+            width: self.width,
+            transform: self.transform,
+            epsg: self.epsg,
+        }
+    }
+}
+
+impl Drop for Raster {
+    fn drop(&mut self) {
+        pool::release(std::mem::take(&mut self.data));
+    }
 }
 
 impl Raster {
@@ -84,9 +120,14 @@ impl Raster {
         })
     }
 
-    /// A zero-filled raster.
+    /// A zero-filled raster (pooled allocation).
     pub fn zeros(bands: usize, height: usize, width: usize) -> RasterResult<Raster> {
-        Raster::new(vec![0.0; bands * height * width], bands, height, width)
+        Raster::new(
+            pool::alloc_zeroed(bands * height * width),
+            bands,
+            height,
+            width,
+        )
     }
 
     /// Number of spectral bands.
@@ -109,6 +150,11 @@ impl Raster {
         self.height * self.width
     }
 
+    /// The full extent as a window anchored at the origin.
+    pub fn extent(&self) -> Window {
+        Window::new(0, 0, self.height, self.width)
+    }
+
     /// The full sample buffer, band-major.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
@@ -117,6 +163,11 @@ impl Raster {
     /// Mutable sample buffer.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Consume the raster, handing its (pooled) buffer to the caller.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Borrow one band's samples.
@@ -131,6 +182,21 @@ impl Raster {
         self.check_band(band)?;
         let n = self.band_len();
         Ok(&mut self.data[band * n..(band + 1) * n])
+    }
+
+    /// Zero-copy view of `nrows` full-width rows of one band starting at
+    /// `row` — the contiguous fast path for full-width windows.
+    pub fn band_rows(&self, band: usize, row: usize, nrows: usize) -> RasterResult<&[f32]> {
+        self.check_band(band)?;
+        if row + nrows > self.height {
+            return Err(RasterError::InvalidArgument(format!(
+                "rows {row}..{} outside height {}",
+                row + nrows,
+                self.height
+            )));
+        }
+        let start = (band * self.height + row) * self.width;
+        Ok(&self.data[start..start + nrows * self.width])
     }
 
     /// Sample at `(band, row, col)`.
@@ -175,7 +241,8 @@ impl Raster {
         Ok(())
     }
 
-    /// Insert a band before index `at` (`at == bands` appends).
+    /// Insert a band before index `at` (`at == bands` appends). The
+    /// rebuilt buffer is pooled; the old one is recycled.
     pub fn insert_band(&mut self, at: usize, samples: &[f32]) -> RasterResult<()> {
         if at > self.bands {
             return Err(RasterError::BandOutOfRange {
@@ -189,11 +256,11 @@ impl Raster {
             ));
         }
         let n = self.band_len();
-        let mut new_data = Vec::with_capacity(self.data.len() + n);
-        new_data.extend_from_slice(&self.data[..at * n]);
-        new_data.extend_from_slice(samples);
-        new_data.extend_from_slice(&self.data[at * n..]);
-        self.data = new_data;
+        let mut new_data = pool::alloc_uninit(self.data.len() + n);
+        new_data[..at * n].copy_from_slice(&self.data[..at * n]);
+        new_data[at * n..(at + 1) * n].copy_from_slice(samples);
+        new_data[(at + 1) * n..].copy_from_slice(&self.data[at * n..]);
+        pool::release(std::mem::replace(&mut self.data, new_data));
         self.bands += 1;
         Ok(())
     }
@@ -206,9 +273,9 @@ impl Raster {
             ));
         }
         let n = self.band_len();
-        let mut data = Vec::with_capacity(bands.len() * n);
-        for &b in bands {
-            data.extend_from_slice(self.band(b)?);
+        let mut data = pool::alloc_uninit(bands.len() * n);
+        for (i, &b) in bands.iter().enumerate() {
+            data[i * n..(i + 1) * n].copy_from_slice(self.band(b)?);
         }
         let mut out = Raster::new(data, bands.len(), self.height, self.width)?;
         out.transform = self.transform;
@@ -216,15 +283,115 @@ impl Raster {
         Ok(out)
     }
 
-    /// View as a `[C, H, W]` tensor (copies the buffer).
-    pub fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(
-            self.data.clone(),
-            &[self.bands, self.height, self.width],
-        )
+    /// Copy a pixel window (all bands) into a new raster. The result is
+    /// georeferenced to the window corner. Windows never extend past the
+    /// raster — out-of-bounds reads are an error, not silent zero-fill;
+    /// samplers clamp their windows instead (see `datasets::samplers`).
+    pub fn read_window(&self, w: &Window) -> RasterResult<Raster> {
+        let mut data = pool::alloc_uninit(self.bands * w.area());
+        self.read_window_into(w, &mut data)?;
+        let mut out = Raster::new(data, self.bands, w.height, w.width)?;
+        out.transform = self.transform.for_window(w.row, w.col);
+        out.epsg = self.epsg;
+        Ok(out)
     }
 
-    /// Build from a `[C, H, W]` tensor.
+    /// Copy a pixel window (all bands) into a `[bands, h, w]` tensor on
+    /// pooled storage — the tile-extraction path of tiled inference.
+    pub fn read_window_tensor(&self, w: &Window) -> RasterResult<Tensor> {
+        let mut data = pool::alloc_uninit(self.bands * w.area());
+        self.read_window_into(w, &mut data)?;
+        let t = Tensor::from_slice(&data, &[self.bands, w.height, w.width]);
+        pool::release(data);
+        Ok(t)
+    }
+
+    /// Copy a window's samples (band-major) into `out`, which must hold
+    /// exactly `bands × window area` elements.
+    pub fn read_window_into(&self, w: &Window, out: &mut [f32]) -> RasterResult<()> {
+        if !self.extent().contains(w) {
+            return Err(RasterError::InvalidArgument(format!(
+                "window {w:?} outside raster {}x{}",
+                self.height, self.width
+            )));
+        }
+        if out.len() != self.bands * w.area() {
+            return Err(RasterError::DimensionMismatch(format!(
+                "window buffer of {} samples does not fit {}x{}x{}",
+                out.len(),
+                self.bands,
+                w.height,
+                w.width
+            )));
+        }
+        for b in 0..self.bands {
+            let band = self.band(b)?;
+            for r in 0..w.height {
+                let src = (w.row + r) * self.width + w.col;
+                let dst = (b * w.height + r) * w.width;
+                out[dst..dst + w.width].copy_from_slice(&band[src..src + w.width]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror every band left↔right, in place.
+    pub fn flip_horizontal_(&mut self) {
+        for row in self.data.chunks_exact_mut(self.width) {
+            row.reverse();
+        }
+    }
+
+    /// Mirror every band top↕bottom, in place.
+    pub fn flip_vertical_(&mut self) {
+        let (h, w) = (self.height, self.width);
+        for band in self.data.chunks_exact_mut(h * w) {
+            for r in 0..h / 2 {
+                let (top, rest) = band.split_at_mut((h - 1 - r) * w);
+                top[r * w..(r + 1) * w].swap_with_slice(&mut rest[..w]);
+            }
+        }
+    }
+
+    /// Rotate every band by `turns × 90°` clockwise, in place. Odd turn
+    /// counts swap height and width; the quarter-turn path stages one
+    /// band at a time through a pooled scratch buffer, so steady-state
+    /// augmentation loops stay allocation-free. The geotransform is kept
+    /// as-is — rotation is an augmentation op, not a reprojection.
+    pub fn rotate90_(&mut self, turns: usize) {
+        match turns % 4 {
+            0 => {}
+            2 => {
+                self.flip_vertical_();
+                self.flip_horizontal_();
+            }
+            t => {
+                let (h, w) = (self.height, self.width);
+                let n = h * w;
+                let mut scratch = pool::alloc_uninit(n);
+                for band in self.data.chunks_exact_mut(n) {
+                    scratch.copy_from_slice(band);
+                    for r in 0..h {
+                        for c in 0..w {
+                            // CW: (r, c) → (c, h-1-r); CCW: (r, c) → (w-1-c, r).
+                            // Rotated rows have stride h (the new width).
+                            let (nr, nc) = if t == 1 { (c, h - 1 - r) } else { (w - 1 - c, r) };
+                            band[nr * h + nc] = scratch[r * w + c];
+                        }
+                    }
+                }
+                pool::release(scratch);
+                std::mem::swap(&mut self.height, &mut self.width);
+            }
+        }
+    }
+
+    /// View as a `[C, H, W]` tensor (pooled copy of the buffer).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_slice(&self.data, &[self.bands, self.height, self.width])
+    }
+
+    /// Build from a `[C, H, W]` tensor (pooled copy).
     pub fn from_tensor(t: &Tensor) -> RasterResult<Raster> {
         if t.ndim() != 3 {
             return Err(RasterError::DimensionMismatch(format!(
@@ -233,7 +400,7 @@ impl Raster {
             )));
         }
         Raster::new(
-            t.as_slice().to_vec(),
+            pool::alloc_copy(t.as_slice()),
             t.shape()[0],
             t.shape()[1],
             t.shape()[2],
@@ -350,5 +517,78 @@ mod tests {
         assert_eq!((x, y), (101.0, 49.5));
         let (x, y) = gt.pixel_to_world(2, 3);
         assert_eq!((x, y), (107.0, 47.5));
+    }
+
+    #[test]
+    fn read_window_copies_and_georeferences() {
+        let mut r = sample();
+        r.transform = GeoTransform {
+            origin_x: 100.0,
+            origin_y: 50.0,
+            pixel_width: 2.0,
+            pixel_height: 1.0,
+        };
+        r.epsg = 4326;
+        let w = Window::new(1, 1, 1, 2);
+        let crop = r.read_window(&w).unwrap();
+        assert_eq!((crop.bands(), crop.height(), crop.width()), (2, 1, 2));
+        assert_eq!(crop.as_slice(), &[5.0, 6.0, 50.0, 60.0]);
+        assert_eq!(crop.transform.origin_x, 102.0);
+        assert_eq!(crop.transform.origin_y, 49.0);
+        assert_eq!(crop.epsg, 4326);
+        // Out-of-bounds windows error instead of zero-padding.
+        assert!(r.read_window(&Window::new(1, 1, 2, 3)).is_err());
+    }
+
+    #[test]
+    fn read_window_tensor_matches_read_window() {
+        let r = sample();
+        let w = Window::new(0, 1, 2, 2);
+        let t = r.read_window_tensor(&w).unwrap();
+        assert_eq!(t.shape(), &[2, 2, 2]);
+        assert_eq!(t.as_slice(), r.read_window(&w).unwrap().as_slice());
+    }
+
+    #[test]
+    fn band_rows_is_contiguous_view() {
+        let r = sample();
+        assert_eq!(r.band_rows(1, 1, 1).unwrap(), &[40.0, 50.0, 60.0]);
+        assert_eq!(r.band_rows(0, 0, 2).unwrap(), r.band(0).unwrap());
+        assert!(r.band_rows(0, 1, 2).is_err());
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let mut r = sample();
+        r.flip_horizontal_();
+        assert_eq!(r.band(0).unwrap(), &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+        r.flip_horizontal_();
+        assert_eq!(&r, &sample());
+        r.flip_vertical_();
+        assert_eq!(r.band(1).unwrap(), &[40.0, 50.0, 60.0, 10.0, 20.0, 30.0]);
+        r.flip_vertical_();
+        assert_eq!(&r, &sample());
+    }
+
+    #[test]
+    fn rotate90_quarter_turns() {
+        let mut r = sample();
+        r.rotate90_(1); // clockwise
+        assert_eq!((r.height(), r.width()), (3, 2));
+        assert_eq!(r.band(0).unwrap(), &[4.0, 1.0, 5.0, 2.0, 6.0, 3.0]);
+        r.rotate90_(3); // three more turns: back to start
+        assert_eq!(&r, &sample());
+        r.rotate90_(2); // half turn = both flips
+        let mut flipped = sample();
+        flipped.flip_vertical_();
+        flipped.flip_horizontal_();
+        assert_eq!(r, flipped);
+        r.rotate90_(0);
+        assert_eq!(r, flipped);
+        // CCW is the inverse of CW.
+        let mut q = sample();
+        q.rotate90_(1);
+        q.rotate90_(7); // 7 % 4 = 3 = CCW once
+        assert_eq!(&q, &sample());
     }
 }

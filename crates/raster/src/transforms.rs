@@ -1,20 +1,44 @@
 //! Raster transformation operations (the `geotorchai.transforms.raster`
-//! package of the paper, Listing 7).
+//! package of the paper, Listing 7) plus the augmentation family used by
+//! windowed sampling (flips, quarter-turn rotation, affine normalize,
+//! channel jitter).
 //!
 //! Each operation implements [`RasterTransform`] and can be chained with
-//! [`Compose`], mirroring `torchvision.transforms.Compose`. Transforms are
-//! pure (`Raster → Raster`) so they are usable both on-the-fly during
-//! training and offline in the preprocessing module — the distinction
-//! Table VIII of the paper benchmarks.
+//! [`Compose`], mirroring `torchvision.transforms.Compose`. The
+//! *primitive* is [`RasterTransform::apply_mut`], which rewrites a
+//! raster in place on pooled storage; [`RasterTransform::apply`] is the
+//! pure `Raster → Raster` convenience built on one clone + `apply_mut`.
+//! [`Compose`] clones once and then chains `apply_mut`, so an N-stage
+//! pipeline performs one pooled allocation instead of N — the property
+//! the alloc-regression suite (`raster/tests/transform_alloc.rs`) pins
+//! down.
 
-use crate::algebra::{normalize_band, normalized_difference};
+use crate::algebra::{normalize_band_into, normalized_difference};
 use crate::error::{RasterError, RasterResult};
 use crate::raster::Raster;
+use geotorch_tensor::pool;
 
-/// A pure raster-to-raster operation.
+/// A raster-to-raster operation.
+///
+/// Implementors provide [`apply_mut`]; [`apply`] (clone + `apply_mut`)
+/// comes for free and keeps the pure call-site ergonomics of Listing 7.
+///
+/// [`apply_mut`]: RasterTransform::apply_mut
+/// [`apply`]: RasterTransform::apply
 pub trait RasterTransform: Send + Sync {
-    /// Apply the transform.
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster>;
+    /// Apply the transform in place. On error the raster may be left
+    /// partially transformed; callers wanting transactional semantics
+    /// use [`apply`](RasterTransform::apply).
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()>;
+
+    /// Apply the transform to a copy (clone + [`apply_mut`]).
+    ///
+    /// [`apply_mut`]: RasterTransform::apply_mut
+    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+        let mut out = raster.clone();
+        self.apply_mut(&mut out)?;
+        Ok(out)
+    }
 
     /// Short name for diagnostics.
     fn name(&self) -> &'static str;
@@ -35,11 +59,11 @@ impl AppendNormalizedDifferenceIndex {
 }
 
 impl RasterTransform for AppendNormalizedDifferenceIndex {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
         let nd = normalized_difference(raster, self.band1, self.band2)?;
-        let mut out = raster.clone();
-        out.push_band(&nd)?;
-        Ok(out)
+        raster.push_band(&nd)?;
+        pool::release(nd);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -60,11 +84,9 @@ impl NormalizeBand {
 }
 
 impl RasterTransform for NormalizeBand {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let normalised = normalize_band(raster.band(self.band)?);
-        let mut out = raster.clone();
-        out.band_mut(self.band)?.copy_from_slice(&normalised);
-        Ok(out)
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        normalize_band_into(raster.band_mut(self.band)?);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -76,13 +98,11 @@ impl RasterTransform for NormalizeBand {
 pub struct NormalizeAll;
 
 impl RasterTransform for NormalizeAll {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let mut out = raster.clone();
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
         for b in 0..raster.bands() {
-            let normalised = normalize_band(raster.band(b)?);
-            out.band_mut(b)?.copy_from_slice(&normalised);
+            normalize_band_into(raster.band_mut(b)?);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -103,10 +123,8 @@ impl DeleteBand {
 }
 
 impl RasterTransform for DeleteBand {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let mut out = raster.clone();
-        out.remove_band(self.band)?;
-        Ok(out)
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        raster.remove_band(self.band)
     }
 
     fn name(&self) -> &'static str {
@@ -128,11 +146,11 @@ impl InsertConstantBand {
 }
 
 impl RasterTransform for InsertConstantBand {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let mut out = raster.clone();
-        let band = vec![self.value; raster.band_len()];
-        out.insert_band(self.at, &band)?;
-        Ok(out)
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        let band = pool::alloc_filled(raster.band_len(), self.value);
+        let result = raster.insert_band(self.at, &band);
+        pool::release(band);
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -163,18 +181,17 @@ impl MaskOnThreshold {
 }
 
 impl RasterTransform for MaskOnThreshold {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let mut out = raster.clone();
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
         let threshold = self.threshold;
         let keep_above = self.keep_above;
         let fill = self.fill;
-        for v in out.band_mut(self.band)? {
+        for v in raster.band_mut(self.band)? {
             let keep = if keep_above { *v > threshold } else { *v < threshold };
             if !keep {
                 *v = fill;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -197,11 +214,11 @@ impl AppendRatioIndex {
 }
 
 impl RasterTransform for AppendRatioIndex {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
         let ratio = crate::algebra::divide_bands(raster, self.band1, self.band2)?;
-        let mut out = raster.clone();
-        out.push_band(&ratio)?;
-        Ok(out)
+        raster.push_band(&ratio)?;
+        pool::release(ratio);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -209,8 +226,149 @@ impl RasterTransform for AppendRatioIndex {
     }
 }
 
+/// Mirror every band left↔right (augmentation).
+pub struct HorizontalFlip;
+
+impl RasterTransform for HorizontalFlip {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        raster.flip_horizontal_();
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "HorizontalFlip"
+    }
+}
+
+/// Mirror every band top↕bottom (augmentation).
+pub struct VerticalFlip;
+
+impl RasterTransform for VerticalFlip {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        raster.flip_vertical_();
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "VerticalFlip"
+    }
+}
+
+/// Rotate every band by `turns × 90°` clockwise (augmentation). Odd
+/// turn counts swap the raster's height and width.
+pub struct Rotate90 {
+    turns: usize,
+}
+
+impl Rotate90 {
+    /// Number of clockwise quarter turns (taken modulo 4).
+    pub fn new(turns: usize) -> Self {
+        Rotate90 { turns }
+    }
+}
+
+impl RasterTransform for Rotate90 {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        raster.rotate90_(self.turns);
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "Rotate90"
+    }
+}
+
+/// Affine per-band standardisation: `v ← (v − mean[b]) / std[b]` — the
+/// dataset-statistics normalisation used before inference (as opposed to
+/// [`NormalizeBand`]'s per-image min-max).
+pub struct Normalize {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalize {
+    /// Per-band means and standard deviations. Lengths must match the
+    /// raster's band count at apply time; stds must be non-zero.
+    pub fn new(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        Normalize { mean, std }
+    }
+}
+
+impl RasterTransform for Normalize {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        if self.mean.len() != raster.bands() || self.std.len() != raster.bands() {
+            return Err(RasterError::DimensionMismatch(format!(
+                "normalize stats for {} bands applied to {}-band raster",
+                self.mean.len(),
+                raster.bands()
+            )));
+        }
+        if let Some(b) = self.std.iter().position(|&s| s.abs() < f32::EPSILON) {
+            return Err(RasterError::InvalidArgument(format!(
+                "normalize std for band {b} is zero"
+            )));
+        }
+        for b in 0..raster.bands() {
+            let (mean, inv_std) = (self.mean[b], 1.0 / self.std[b]);
+            for v in raster.band_mut(b)? {
+                *v = (*v - mean) * inv_std;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "Normalize"
+    }
+}
+
+/// Deterministic per-band brightness jitter (augmentation): each band is
+/// scaled by a factor drawn uniformly from `[1 − amplitude, 1 +
+/// amplitude]`, derived from the seed and band index with a splitmix64
+/// hash so the same seed always produces the same jitter.
+pub struct ChannelJitter {
+    seed: u64,
+    amplitude: f32,
+}
+
+impl ChannelJitter {
+    /// Jitter with the given seed and relative amplitude (e.g. `0.1` for
+    /// ±10% per-band gain).
+    pub fn new(seed: u64, amplitude: f32) -> Self {
+        ChannelJitter { seed, amplitude }
+    }
+
+    /// The gain applied to `band` (exposed for tests).
+    pub fn gain(&self, band: usize) -> f32 {
+        // splitmix64: decorrelates consecutive band indices.
+        let mut z = self.seed.wrapping_add((band as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f32 / (1u64 << 53) as f32; // [0, 1)
+        1.0 + self.amplitude * (2.0 * unit - 1.0)
+    }
+}
+
+impl RasterTransform for ChannelJitter {
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
+        for b in 0..raster.bands() {
+            let gain = self.gain(b);
+            for v in raster.band_mut(b)? {
+                *v *= gain;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ChannelJitter"
+    }
+}
+
 /// A chain of transforms applied left to right
-/// (`torchvision.transforms.Compose`).
+/// (`torchvision.transforms.Compose`). `apply` clones the input once and
+/// then runs every stage in place.
 #[derive(Default)]
 pub struct Compose {
     transforms: Vec<Box<dyn RasterTransform>>,
@@ -243,12 +401,11 @@ impl Compose {
 }
 
 impl RasterTransform for Compose {
-    fn apply(&self, raster: &Raster) -> RasterResult<Raster> {
-        let mut current = raster.clone();
+    fn apply_mut(&self, raster: &mut Raster) -> RasterResult<()> {
         for t in &self.transforms {
-            current = t.apply(&current)?;
+            t.apply_mut(raster)?;
         }
-        Ok(current)
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -326,6 +483,54 @@ mod tests {
     fn ratio_index() {
         let out = AppendRatioIndex::new(0, 1).apply(&r()).unwrap();
         assert_eq!(out.band(2).unwrap(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn apply_mut_transforms_in_place() {
+        let mut raster = r();
+        NormalizeAll.apply_mut(&mut raster).unwrap();
+        assert_eq!(raster.band(0).unwrap(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn flips_and_rotation_as_transforms() {
+        let out = HorizontalFlip.apply(&r()).unwrap();
+        assert_eq!(out.band(0).unwrap(), &[4.0, 2.0, 8.0, 6.0]);
+        let out = VerticalFlip.apply(&r()).unwrap();
+        assert_eq!(out.band(0).unwrap(), &[6.0, 8.0, 2.0, 4.0]);
+        let out = Rotate90::new(1).apply(&r()).unwrap();
+        assert_eq!(out.band(0).unwrap(), &[6.0, 2.0, 8.0, 4.0]);
+        // Four quarter turns are the identity.
+        let out = Rotate90::new(4).apply(&r()).unwrap();
+        assert_eq!(out, r());
+    }
+
+    #[test]
+    fn normalize_affine_stats() {
+        let out = Normalize::new(vec![5.0, 2.5], vec![2.0, 0.5]).apply(&r()).unwrap();
+        assert_eq!(out.band(0).unwrap(), &[-1.5, -0.5, 0.5, 1.5]);
+        assert_eq!(out.band(1).unwrap(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert!(Normalize::new(vec![0.0], vec![1.0]).apply(&r()).is_err());
+        assert!(Normalize::new(vec![0.0, 0.0], vec![1.0, 0.0]).apply(&r()).is_err());
+    }
+
+    #[test]
+    fn channel_jitter_is_deterministic_and_bounded() {
+        let jitter = ChannelJitter::new(7, 0.1);
+        let a = jitter.apply(&r()).unwrap();
+        let b = jitter.apply(&r()).unwrap();
+        assert_eq!(a, b, "same seed must produce identical jitter");
+        for band in 0..2 {
+            let gain = jitter.gain(band);
+            assert!((0.9..=1.1).contains(&gain), "gain {gain} outside ±10%");
+            let expect: Vec<f32> = r().band(band).unwrap().iter().map(|&v| v * gain).collect();
+            assert_eq!(a.band(band).unwrap(), &expect[..]);
+        }
+        // Different seeds decorrelate.
+        let other = ChannelJitter::new(8, 0.1);
+        assert_ne!(jitter.gain(0), other.gain(0));
+        // Different bands decorrelate.
+        assert_ne!(jitter.gain(0), jitter.gain(1));
     }
 
     #[test]

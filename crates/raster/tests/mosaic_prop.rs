@@ -1,0 +1,129 @@
+//! Property tests for the mosaic accumulator's central invariant: after
+//! `finalize`, the blend weights at every output pixel sum to exactly 1
+//! (they are divided out), so a constant input field survives stitching
+//! unchanged — for random overlap configurations, both blend modes, and
+//! halo-trimmed cores alike.
+
+use geotorch_raster::{core_of, BlendMode, MosaicAccumulator, Window};
+use geotorch_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Clamped grid starts: 0, s, 2s, … with the last start pinned to
+/// `extent - tile` (mirrors the sampler's edge handling).
+fn starts(extent: usize, tile: usize, stride: usize) -> Vec<usize> {
+    let mut out = vec![0];
+    let last = extent - tile;
+    let mut s = stride;
+    while s < last {
+        out.push(s);
+        s += stride;
+    }
+    if last > 0 {
+        out.push(last);
+    }
+    out
+}
+
+/// A mosaic extent plus a tile/stride pair that covers it.
+fn overlap_params() -> impl Strategy<Value = (usize, usize, (usize, usize), (usize, usize))> {
+    (4usize..40, 4usize..40).prop_flat_map(|(h, w)| {
+        (2..=h.min(16), 2..=w.min(16)).prop_flat_map(move |(th, tw)| {
+            (1..=th, 1..=tw).prop_map(move |(sh, sw)| (h, w, (th, tw), (sh, sw)))
+        })
+    })
+}
+
+fn blend_modes() -> impl Strategy<Value = BlendMode> {
+    any::<bool>().prop_map(|cosine| {
+        if cosine {
+            BlendMode::Cosine
+        } else {
+            BlendMode::Uniform
+        }
+    })
+}
+
+fn constant_pred(classes: usize, th: usize, tw: usize, value: f32) -> Tensor {
+    Tensor::from_vec(vec![value; classes * th * tw], &[classes, th, tw])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weights sum to 1 at every pixel: a constant field of `value`
+    /// finalizes to `value` everywhere, however the tiles overlap.
+    #[test]
+    fn blend_weights_sum_to_one_at_every_pixel(
+        (h, w, tile, stride) in overlap_params(),
+        blend in blend_modes(),
+        classes in 1usize..3,
+        value in -4.0f32..4.0,
+    ) {
+        let mut acc = MosaicAccumulator::new(classes, h, w, blend);
+        for &r in &starts(h, tile.0, stride.0) {
+            for &c in &starts(w, tile.1, stride.1) {
+                let window = Window::new(r, c, tile.0, tile.1);
+                let pred = constant_pred(classes, tile.0, tile.1, value);
+                acc.add_tile(&window, &window, &pred).unwrap();
+            }
+        }
+        prop_assert_eq!(acc.coverage_gap(), None);
+        let mosaic = acc.finalize().unwrap();
+        for (i, &v) in mosaic.as_slice().iter().enumerate() {
+            prop_assert!(
+                (v - value).abs() <= 1e-5 * value.abs().max(1.0),
+                "pixel {} diverged after blending: {} vs constant {}", i, v, value
+            );
+        }
+    }
+
+    /// Same invariant when each tile only contributes its halo-trimmed
+    /// core — the geometry `run_mosaic` actually uses.
+    #[test]
+    fn halo_trimmed_cores_still_normalize_to_one(
+        (h, w, tile, _) in overlap_params(),
+        blend in blend_modes(),
+        halo_seed in 0usize..8,
+    ) {
+        // Halo small enough to leave a core, stride small enough that
+        // cores still cover every pixel (stride <= tile - 2*halo).
+        let halo = halo_seed % ((tile.0.min(tile.1)).div_ceil(2)).max(1);
+        let stride = (
+            (tile.0 - 2 * halo.min((tile.0 - 1) / 2)).max(1),
+            (tile.1 - 2 * halo.min((tile.1 - 1) / 2)).max(1),
+        );
+        let halo = halo.min((tile.0 - 1) / 2).min((tile.1 - 1) / 2);
+        let bounds = Window::new(0, 0, h, w);
+        let mut acc = MosaicAccumulator::new(1, h, w, blend);
+        for &r in &starts(h, tile.0, stride.0) {
+            for &c in &starts(w, tile.1, stride.1) {
+                let window = Window::new(r, c, tile.0, tile.1);
+                let core = core_of(&window, &bounds, halo);
+                let pred = constant_pred(1, tile.0, tile.1, 1.0);
+                acc.add_tile(&window, &core, &pred).unwrap();
+            }
+        }
+        prop_assert_eq!(acc.coverage_gap(), None);
+        let mosaic = acc.finalize().unwrap();
+        for &v in mosaic.as_slice() {
+            prop_assert!((v - 1.0).abs() <= 1e-5, "blend drifted: {}", v);
+        }
+    }
+
+    /// Any uncovered pixel fails the whole mosaic — never a silent
+    /// partial result.
+    #[test]
+    fn finalize_refuses_partial_coverage(
+        h in 4usize..24,
+        w in 4usize..24,
+        blend in blend_modes(),
+    ) {
+        let mut acc = MosaicAccumulator::new(1, h, w, blend);
+        // One tile that deliberately misses the last row and column.
+        let window = Window::new(0, 0, h - 1, w - 1);
+        let pred = constant_pred(1, h - 1, w - 1, 1.0);
+        acc.add_tile(&window, &window, &pred).unwrap();
+        prop_assert!(acc.coverage_gap().is_some());
+        prop_assert!(acc.finalize().is_err());
+    }
+}

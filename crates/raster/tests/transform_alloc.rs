@@ -1,0 +1,103 @@
+//! Steady-state allocation regression for the transform pipeline,
+//! mirroring the training/serving budgets in `geotorch-bench`: after a
+//! warm-up pass populates the pool's size classes, a chained augment +
+//! index pipeline must run entirely from recycled buffers. The small
+//! budget absorbs one-off wobble; it fails loudly if a transform
+//! regresses to fresh allocation per call.
+//!
+//! Geometry note: the raster is 3 bands of 64×64 (12288 floats) and the
+//! append/delete steps briefly grow it to 4 bands (16384 floats) — both
+//! sizes are served by the same pow2 size class (2^14), so the chained
+//! pipeline can be literally allocation-free once warm.
+
+use geotorch_raster::transforms::{
+    AppendNormalizedDifferenceIndex, ChannelJitter, Compose, DeleteBand, HorizontalFlip,
+    NormalizeAll, RasterTransform, Rotate90, VerticalFlip,
+};
+use geotorch_raster::Raster;
+use geotorch_tensor::pool;
+
+const MISS_BUDGET: u64 = 8;
+
+fn scene() -> Raster {
+    let (bands, h, w) = (3usize, 64usize, 64usize);
+    let data: Vec<f32> = (0..bands * h * w)
+        .map(|i| ((i as f32 * 0.37).sin() + 1.5) * 0.25)
+        .collect();
+    Raster::new(data, bands, h, w).unwrap()
+}
+
+fn pipeline() -> Compose {
+    Compose::new()
+        .add(AppendNormalizedDifferenceIndex::new(0, 1))
+        .add(NormalizeAll)
+        .add(DeleteBand::new(3))
+        .add(HorizontalFlip)
+        .add(VerticalFlip)
+        .add(Rotate90::new(1))
+        .add(Rotate90::new(3))
+        .add(ChannelJitter::new(42, 0.05))
+}
+
+#[test]
+fn chained_transform_pipeline_is_steady_state_allocation_free() {
+    pool::set_enabled(true);
+    let chain = pipeline();
+    let mut raster = scene();
+
+    // Warm-up: two passes populate every size class the chain touches
+    // (band-grown raster, normalized-difference scratch, rotation
+    // scratch, the clone made by `apply`).
+    for _ in 0..2 {
+        chain.apply_mut(&mut raster).unwrap();
+        let _ = chain.apply(&raster).unwrap();
+    }
+
+    let before = pool::stats();
+    for _ in 0..32 {
+        chain.apply_mut(&mut raster).unwrap();
+    }
+    let after = pool::stats();
+
+    let misses = after.misses - before.misses;
+    let hits = after.hits - before.hits;
+    eprintln!("transform steady state: {hits} pool hits, {misses} misses (budget {MISS_BUDGET})");
+    assert!(
+        misses <= MISS_BUDGET,
+        "steady-state transform chain allocated fresh buffers {misses} times \
+         (budget {MISS_BUDGET}, hits {hits}) — a transform stopped recycling"
+    );
+    // The budget only means something if the chain actually recycles.
+    assert!(
+        hits >= 32,
+        "expected the chain to acquire scratch from the pool every pass, saw {hits} hits"
+    );
+    assert_eq!(raster.bands(), 3);
+    assert_eq!((raster.height(), raster.width()), (64, 64));
+}
+
+#[test]
+fn cloning_apply_path_recycles_the_clone() {
+    pool::set_enabled(true);
+    let chain = pipeline();
+    let raster = scene();
+
+    for _ in 0..2 {
+        let _ = chain.apply(&raster).unwrap();
+    }
+
+    let before = pool::stats();
+    for _ in 0..16 {
+        // `apply` clones (pooled), runs the chain in place, and the
+        // result's Drop shelves the buffer for the next iteration.
+        let out = chain.apply(&raster).unwrap();
+        assert_eq!(out.bands(), raster.bands());
+    }
+    let after = pool::stats();
+
+    let misses = after.misses - before.misses;
+    assert!(
+        misses <= MISS_BUDGET,
+        "apply() clone path allocated fresh buffers {misses} times (budget {MISS_BUDGET})"
+    );
+}

@@ -160,6 +160,14 @@ impl Server {
         self.workers.keys().cloned().collect()
     }
 
+    /// An in-process submission handle to a served model's batcher —
+    /// the embedded path for drivers (e.g. tiled inference) that live in
+    /// the same process as the server and should share its admission
+    /// control, replicas, and deadlines without the HTTP hop.
+    pub fn client(&self, model: &str) -> Option<ModelClient> {
+        self.workers.get(model).map(|w| w.client())
+    }
+
     /// Enter the draining state without stopping: `/healthz` reports
     /// `draining` with status 503 (so load balancers stop routing here)
     /// and new predictions are refused with 503, but connections are

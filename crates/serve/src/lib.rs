@@ -57,10 +57,12 @@ mod front;
 mod front;
 pub mod http;
 pub mod registry;
+pub mod tiling;
 
 pub use batcher::{BatchConfig, ModelClient, ModelWorker};
 pub use http::{ServeConfig, Server};
 pub use registry::Registry;
+pub use tiling::{run_mosaic, MosaicStats, TileConfig};
 
 use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};
 use geotorch_nn::{Module, Var};

@@ -59,6 +59,11 @@ pub mod datasets {
     pub mod raster {
         pub use geotorch_datasets::raster::{extract_features, RasterBatchData, RasterDataset};
     }
+
+    /// Windowed geo-samplers for scene-scale tiling (TorchGeo-style).
+    pub mod samplers {
+        pub use geotorch_datasets::samplers::{GridSampler, RandomSampler, Tile};
+    }
 }
 
 /// Neural-network models (`geotorchai.models`).
@@ -83,8 +88,9 @@ pub mod transforms {
     /// Raster transforms (`geotorchai.transforms.raster`).
     pub mod raster {
         pub use geotorch_raster::transforms::{
-            AppendNormalizedDifferenceIndex, AppendRatioIndex, Compose, DeleteBand,
-            InsertConstantBand, MaskOnThreshold, NormalizeAll, NormalizeBand, RasterTransform,
+            AppendNormalizedDifferenceIndex, AppendRatioIndex, ChannelJitter, Compose,
+            DeleteBand, HorizontalFlip, InsertConstantBand, MaskOnThreshold, Normalize,
+            NormalizeAll, NormalizeBand, RasterTransform, Rotate90, VerticalFlip,
         };
     }
 }
@@ -132,7 +138,10 @@ pub mod raster {
     pub use geotorch_raster::algebra;
     pub use geotorch_raster::glcm::{Glcm, GlcmDirection};
     pub use geotorch_raster::gtiff;
-    pub use geotorch_raster::{GeoTransform, Raster, RasterError, RasterResult};
+    pub use geotorch_raster::{
+        core_of, BlendMode, GeoTransform, MosaicAccumulator, Raster, RasterError, RasterResult,
+        Window,
+    };
 }
 
 /// Training utilities.
@@ -148,8 +157,9 @@ pub mod train {
 /// the HTTP front-end (`/predict/<model>`, `/healthz`, `/metrics`).
 pub mod serve {
     pub use geotorch_serve::{
-        BatchConfig, ClassifierServe, GridServe, ModelClient, ModelWorker, Registry,
-        SegmenterServe, ServeConfig, ServeError, ServeModel, Server,
+        run_mosaic, BatchConfig, ClassifierServe, GridServe, ModelClient, ModelWorker,
+        MosaicStats, Registry, SegmenterServe, ServeConfig, ServeError, ServeModel, Server,
+        TileConfig,
     };
 }
 
