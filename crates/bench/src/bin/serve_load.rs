@@ -323,6 +323,7 @@ fn run_overload(quick: bool) -> Result<String, String> {
     );
     println!("{report}");
     std::fs::create_dir_all("results").ok();
+    let report = format!("{report}{}", geotorch_bench::host_stamp());
     std::fs::write("results/serve_overload.md", &report).ok();
 
     if !other.is_empty() {
@@ -439,6 +440,7 @@ fn run_storm(quick: bool) -> Result<String, String> {
     );
     println!("{report}");
     std::fs::create_dir_all("results").ok();
+    let report = format!("{report}{}", geotorch_bench::host_stamp());
     std::fs::write("results/serve_storm.md", &report).ok();
     if summary.p99_ms > 2_000.0 {
         return Err(format!(
@@ -511,6 +513,7 @@ fn main() {
     );
     println!("{report}");
     std::fs::create_dir_all("results").ok();
+    let report = format!("{report}{}", geotorch_bench::host_stamp());
     std::fs::write("results/serve_load.md", &report).ok();
 
     if results[1].throughput <= results[0].throughput {

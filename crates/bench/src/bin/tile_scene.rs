@@ -364,6 +364,7 @@ fn main() {
         mib(high_water_after), mib(growth), mib(POOL_GROWTH_BOUND),
     );
     std::fs::create_dir_all("results").expect("create results dir");
+    let report = format!("{report}{}", geotorch_bench::host_stamp());
     std::fs::write("results/tiled_inference.md", &report).expect("write report");
     println!("\n{report}");
     println!("wrote results/tiled_inference.md");

@@ -14,6 +14,21 @@ use geotorch_datasets::StGridDataset;
 use geotorch_models::grid::{ConvLstm, DeepStnPlus, PeriodicalCnn, StResNet};
 use geotorch_models::GridModel;
 
+pub mod stream;
+
+/// A one-line host descriptor appended to every `results/*.md` artifact:
+/// core count plus the tensor pool's high-water mark, so single-core
+/// container runs (where data-parallel speedups flatten to ~1x) are
+/// self-describing.
+pub fn host_stamp() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = geotorch_tensor::pool::stats();
+    format!(
+        "\n_Host: {cores} core(s); tensor pool high-water {:.1} MB._\n",
+        pool.high_water_bytes as f64 / 1e6
+    )
+}
+
 /// The periodical feature lengths used by every grid experiment
 /// (closeness 3, period 4, trend 2 — within the ranges of Listing 4).
 pub const PERIODICAL_LENS: (usize, usize, usize) = (3, 4, 1);
@@ -67,6 +82,7 @@ pub fn paper_train_config(epochs: usize, seed: u64) -> TrainConfig {
         gradient_clip: None,
         seed,
         device: Device::Cpu,
+        replicas: 1,
     }
 }
 

@@ -39,6 +39,7 @@ fn profile_snapshot_covers_instrumented_kernels() {
         gradient_clip: None,
         seed: 0,
         device: Device::Cpu,
+        replicas: 1,
     };
     let trainer = Trainer::new(config);
     let (train, val, _) = shuffled_split(dataset.len(), 0);

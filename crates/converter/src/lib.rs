@@ -21,8 +21,14 @@
 
 #![warn(missing_docs)]
 
-use geotorch_dataframe::{exec, Column, DataFrame, DfError, DfResult};
+pub mod stream;
+
+use geotorch_dataframe::{exec, Column, DataFrame, DfError, DfResult, Schema};
 use geotorch_tensor::{parallel_map, Tensor, PARALLEL_THRESHOLD};
+
+pub use stream::{
+    BatchStream, FrameBatchStream, LoaderError, PrefetchLoader, SpillBatchStream,
+};
 
 /// Per-partition formatted rows: flat row-major feature and label
 /// buffers.
@@ -112,6 +118,22 @@ impl DfFormatter {
     /// (no master-node collect).
     pub fn format(&self, df: &DataFrame) -> DfResult<FormattedFrame> {
         let schema = df.schema();
+        let results: Vec<DfResult<FormattedPartition>> =
+            exec::par_map(df.partitions(), |part| self.format_partition(schema, part));
+        Ok(FormattedFrame {
+            partitions: results.into_iter().collect::<DfResult<Vec<_>>>()?,
+            feature_shape: self.feature_shape.clone(),
+            label_shape: self.label_shape.clone(),
+        })
+    }
+
+    /// Format a single partition — the unit of work the out-of-core
+    /// streaming loader calls per spilled partition.
+    pub fn format_partition(
+        &self,
+        schema: &Schema,
+        part: &[Column],
+    ) -> DfResult<FormattedPartition> {
         let f_idx: Vec<usize> = self
             .feature_columns
             .iter()
@@ -122,29 +144,32 @@ impl DfFormatter {
             .iter()
             .map(|c| schema.index_of(c))
             .collect::<DfResult<_>>()?;
-        let results: Vec<DfResult<FormattedPartition>> = exec::par_map(df.partitions(), |part| {
-            let rows = part.first().map_or(0, Column::len);
-            let mut features = Vec::with_capacity(rows * f_idx.len());
-            let mut labels = Vec::with_capacity(rows * l_idx.len());
-            for row in 0..rows {
-                for &i in &f_idx {
-                    features.push(numeric_at(part, i, row, &self.feature_columns)?);
-                }
-                for &i in &l_idx {
-                    labels.push(numeric_at(part, i, row, &self.label_columns)?);
-                }
+        let rows = part.first().map_or(0, Column::len);
+        let mut features = Vec::with_capacity(rows * f_idx.len());
+        let mut labels = Vec::with_capacity(rows * l_idx.len());
+        for row in 0..rows {
+            for &i in &f_idx {
+                features.push(numeric_at(part, i, row, &self.feature_columns)?);
             }
-            Ok(FormattedPartition {
-                features,
-                labels,
-                rows,
-            })
-        });
-        Ok(FormattedFrame {
-            partitions: results.into_iter().collect::<DfResult<Vec<_>>>()?,
-            feature_shape: self.feature_shape.clone(),
-            label_shape: self.label_shape.clone(),
+            for &i in &l_idx {
+                labels.push(numeric_at(part, i, row, &self.label_columns)?);
+            }
+        }
+        Ok(FormattedPartition {
+            features,
+            labels,
+            rows,
         })
+    }
+
+    /// Shape of one feature row (without the batch axis).
+    pub fn feature_shape(&self) -> &[usize] {
+        &self.feature_shape
+    }
+
+    /// Shape of one label row (without the batch axis).
+    pub fn label_shape(&self) -> &[usize] {
+        &self.label_shape
     }
 }
 
@@ -185,52 +210,47 @@ impl RowTransformer {
         self
     }
 
-    /// Stream `(features [B, ..], labels [B, ..])` batches. Batches never
-    /// cross partition boundaries, so each partition can live on its own
-    /// worker in a distributed deployment.
-    pub fn batches<'a>(
-        &'a self,
-        frame: &'a FormattedFrame,
-    ) -> impl Iterator<Item = (Tensor, Tensor)> + 'a {
-        let f_len: usize = frame.feature_shape.iter().product();
-        let l_len: usize = frame.label_shape.iter().product();
-        frame.partitions.iter().flat_map(move |part| {
-            let mut out = Vec::new();
-            let mut start = 0;
-            while start < part.rows {
-                let end = (start + self.batch_size).min(part.rows);
-                let b = end - start;
-                let mut f_shape = vec![b];
-                f_shape.extend_from_slice(&frame.feature_shape);
-                let mut l_shape = vec![b];
-                l_shape.extend_from_slice(&frame.label_shape);
-                // from_slice fills a pooled buffer, so steady-state batch
-                // staging recycles instead of growing the heap.
-                let mut features =
-                    Tensor::from_slice(&part.features[start * f_len..end * f_len], &f_shape);
-                if let Some(t) = &self.transform {
-                    features = t(features);
-                }
-                let labels =
-                    Tensor::from_slice(&part.labels[start * l_len..end * l_len], &l_shape);
-                out.push((features, labels));
-                start = end;
-            }
-            out
-        })
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
-    /// Materialise every batch at once. Batch construction (row gather,
-    /// reshape, optional transform) fans out over the tensor device worker
-    /// pool when the frame clears `PARALLEL_THRESHOLD` elements; batches
-    /// come back in the same order [`RowTransformer::batches`] streams
-    /// them.
-    pub fn all_batches(&self, frame: &FormattedFrame) -> Vec<(Tensor, Tensor)> {
-        let _t = geotorch_telemetry::scope!("converter.all_batches");
+    /// Build the `(features, labels)` batch for rows `[start, end)` of
+    /// partition `pi` — the single construction path shared by
+    /// [`RowTransformer::batches`], [`RowTransformer::all_batches`], and
+    /// the [`stream::BatchStream`] implementations, so every consumer
+    /// sees bit-identical batches.
+    pub(crate) fn build_batch(
+        &self,
+        frame: &FormattedFrame,
+        pi: usize,
+        start: usize,
+        end: usize,
+    ) -> (Tensor, Tensor) {
         let f_len: usize = frame.feature_shape.iter().product();
         let l_len: usize = frame.label_shape.iter().product();
-        // Batch spans as (partition, row start, row end); batches never
-        // cross partition boundaries.
+        let part = &frame.partitions[pi];
+        let b = end - start;
+        let mut f_shape = vec![b];
+        f_shape.extend_from_slice(&frame.feature_shape);
+        let mut l_shape = vec![b];
+        l_shape.extend_from_slice(&frame.label_shape);
+        // from_slice fills a pooled buffer, so steady-state batch
+        // staging recycles instead of growing the heap.
+        let mut features =
+            Tensor::from_slice(&part.features[start * f_len..end * f_len], &f_shape);
+        if let Some(t) = &self.transform {
+            features = t(features);
+        }
+        let labels = Tensor::from_slice(&part.labels[start * l_len..end * l_len], &l_shape);
+        geotorch_telemetry::count!("converter.batches_built", 1);
+        (features, labels)
+    }
+
+    /// Batch spans as `(partition, row start, row end)`; batches never
+    /// cross partition boundaries, so each partition can live on its own
+    /// worker in a distributed deployment.
+    fn spans(&self, frame: &FormattedFrame) -> Vec<(usize, usize, usize)> {
         let mut spans = Vec::new();
         for (pi, part) in frame.partitions.iter().enumerate() {
             let mut start = 0;
@@ -240,27 +260,40 @@ impl RowTransformer {
                 start = end;
             }
         }
-        let build = |(pi, start, end): (usize, usize, usize)| {
-            let part = &frame.partitions[pi];
-            let b = end - start;
-            let mut f_shape = vec![b];
-            f_shape.extend_from_slice(&frame.feature_shape);
-            let mut l_shape = vec![b];
-            l_shape.extend_from_slice(&frame.label_shape);
-            let mut features =
-                Tensor::from_slice(&part.features[start * f_len..end * f_len], &f_shape);
-            if let Some(t) = &self.transform {
-                features = t(features);
-            }
-            let labels =
-                Tensor::from_slice(&part.labels[start * l_len..end * l_len], &l_shape);
-            (features, labels)
-        };
-        geotorch_telemetry::count!("converter.batches_built", spans.len());
+        spans
+    }
+
+    /// Stream `(features [B, ..], labels [B, ..])` batches.
+    pub fn batches<'a>(
+        &'a self,
+        frame: &'a FormattedFrame,
+    ) -> impl Iterator<Item = (Tensor, Tensor)> + 'a {
+        self.spans(frame)
+            .into_iter()
+            .map(move |(pi, start, end)| self.build_batch(frame, pi, start, end))
+    }
+
+    /// Materialise every batch at once — a compatibility wrapper over the
+    /// same span/build path the streaming loaders use. Training and
+    /// evaluation should prefer a [`stream::BatchStream`] (peak memory
+    /// stays one batch instead of the whole dataset); this bulk form
+    /// remains for tests, benchmarks, and small frames, and fans out over
+    /// the tensor device worker pool past `PARALLEL_THRESHOLD` elements.
+    pub fn all_batches(&self, frame: &FormattedFrame) -> Vec<(Tensor, Tensor)> {
+        let _t = geotorch_telemetry::scope!("converter.all_batches");
+        let f_len: usize = frame.feature_shape.iter().product();
+        let l_len: usize = frame.label_shape.iter().product();
+        let spans = self.spans(frame);
         if frame.num_rows() * (f_len + l_len) >= PARALLEL_THRESHOLD {
-            parallel_map(spans.len(), |i| build(spans[i]))
+            parallel_map(spans.len(), |i| {
+                let (pi, start, end) = spans[i];
+                self.build_batch(frame, pi, start, end)
+            })
         } else {
-            spans.into_iter().map(build).collect()
+            spans
+                .into_iter()
+                .map(|(pi, start, end)| self.build_batch(frame, pi, start, end))
+                .collect()
         }
     }
 }

@@ -10,6 +10,8 @@
 
 pub mod checkpoint;
 pub mod metrics;
+pub mod replica;
 pub mod trainer;
 
+pub use replica::{IndexStepSource, StepSource, StreamStepSource, TrainError};
 pub use trainer::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};

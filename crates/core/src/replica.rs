@@ -1,0 +1,668 @@
+//! Data-parallel training: K model replicas, per-step gradient
+//! averaging, one shared optimizer — the trainer layer of the
+//! `DataSource → Loader → Trainer` seam (DESIGN.md §14).
+//!
+//! # Architecture
+//!
+//! The master thread owns the canonical model, the optimizer, early
+//! stopping, and validation. K replica worker threads each own a private
+//! model instance (the autograd tape is `Rc`-based and cannot cross
+//! threads, so models are built *on* their threads by a `Sync` factory —
+//! the same pattern as the serving batcher's model-owner threads). One
+//! training step is:
+//!
+//! 1. master broadcasts its state dict (O(1) `Arc` clones per tensor)
+//!    and deals each replica `r` a shard of `n_r` samples with weight
+//!    `w_r = n_r / N`;
+//! 2. replica `r` forwards its shard, runs `backward` seeded with `w_r`
+//!    (so its gradients arrive pre-scaled), and ships the gradients
+//!    back;
+//! 3. master sums the shard gradients **in replica order**, seeds them
+//!    onto the canonical parameters, and takes one pooled in-place Adam
+//!    step.
+//!
+//! # K = 1 bit-identity
+//!
+//! With one replica, `w = n/n = 1.0` exactly, so the seeded backward is
+//! bit-identical to the classic `loss.backward()`; the merge is a
+//! single-term sum; the optimizer sees byte-identical gradients in the
+//! same order. The whole data-parallel machinery therefore reproduces
+//! [`Trainer::fit_loop`]'s trajectory bit-for-bit (asserted in
+//! `tests/replica_parity.rs` down to checkpoint bytes).
+//!
+//! # Shard-assignment determinism
+//!
+//! Shards are contiguous slices of the shuffled batch (index path) or
+//! consecutive stream batches (stream path), dealt to replicas in slot
+//! order. No work stealing: the assignment is a pure function of
+//! `(seed, epoch, step, K)`, so reruns are reproducible.
+//!
+//! Non-trainable parameters (batch-norm running statistics) produce no
+//! gradients; the master adopts their post-forward values from the
+//! lowest-numbered replica that ran, which for K = 1 is exactly the
+//! classic trainer's in-place statistics update.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use geotorch_converter::{BatchStream, LoaderError};
+use geotorch_datasets::BatchIndices;
+use geotorch_nn::loss::mse_loss;
+use geotorch_nn::optim::{Adam, Optimizer};
+use geotorch_nn::{Module, Var};
+use geotorch_tensor::{with_device, Device, Tensor};
+
+use crate::trainer::{
+    empty_report, scale_grads, stamp_host, TrainConfig, TrainReport, Trainer, UpdateMode,
+};
+use crate::StopReason;
+
+/// Why a data-parallel fit failed.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The batch source failed (spill read, prefetch fault, …).
+    Loader(LoaderError),
+    /// A replica worker failed (panic in the loss, bad state dict, …).
+    Replica {
+        /// Which replica slot failed.
+        replica: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Loader(e) => write!(f, "loader: {e}"),
+            TrainError::Replica { replica, message } => {
+                write!(f, "replica {replica}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<LoaderError> for TrainError {
+    fn from(e: LoaderError) -> TrainError {
+        TrainError::Loader(e)
+    }
+}
+
+/// Per-step work source: deals each step's payloads (one per replica,
+/// with sample counts) until the epoch is exhausted.
+pub trait StepSource<P> {
+    /// Reset for epoch `epoch` (rebuild streams, reshuffle indices).
+    fn begin_epoch(&mut self, epoch: usize) -> Result<(), TrainError>;
+
+    /// The next step's shards as `(payload, sample_count)` — at most one
+    /// per replica slot, dealt in slot order — or `None` at epoch end.
+    fn next_step(&mut self) -> Result<Option<Vec<(P, usize)>>, TrainError>;
+}
+
+/// Shards each shuffled batch of sample indices contiguously across
+/// replicas — the data-parallel twin of the classic trainer's
+/// `BatchIndices::shuffled` loop.
+pub struct IndexStepSource<'a> {
+    train_idx: &'a [usize],
+    batch_size: usize,
+    seed: u64,
+    replicas: usize,
+    iter: Option<BatchIndices>,
+}
+
+impl<'a> IndexStepSource<'a> {
+    /// Steps over `train_idx` with `config`'s batch size, seed, and
+    /// replica count.
+    pub fn new(train_idx: &'a [usize], config: &TrainConfig) -> IndexStepSource<'a> {
+        IndexStepSource {
+            train_idx,
+            batch_size: config.batch_size,
+            seed: config.seed,
+            replicas: config.replicas.max(1),
+            iter: None,
+        }
+    }
+}
+
+impl StepSource<Vec<usize>> for IndexStepSource<'_> {
+    fn begin_epoch(&mut self, epoch: usize) -> Result<(), TrainError> {
+        self.iter = Some(BatchIndices::shuffled(
+            self.train_idx,
+            self.batch_size,
+            self.seed.wrapping_add(epoch as u64),
+        ));
+        Ok(())
+    }
+
+    fn next_step(&mut self) -> Result<Option<Vec<(Vec<usize>, usize)>>, TrainError> {
+        let Some(iter) = self.iter.as_mut() else {
+            return Ok(None);
+        };
+        let Some(batch) = iter.next() else {
+            self.iter = None;
+            return Ok(None);
+        };
+        // Contiguous balanced split: the first `rem` shards get one
+        // extra sample. Deterministic in (batch, K); empty shards are
+        // never dealt (a ragged batch smaller than K uses fewer
+        // replicas).
+        let k = self.replicas.min(batch.len()).max(1);
+        let base = batch.len() / k;
+        let rem = batch.len() % k;
+        let mut shards = Vec::with_capacity(k);
+        let mut start = 0;
+        for r in 0..k {
+            let len = base + usize::from(r < rem);
+            let shard = batch[start..start + len].to_vec();
+            start += len;
+            shards.push((shard, len));
+        }
+        Ok(Some(shards))
+    }
+}
+
+/// Deals consecutive [`BatchStream`] batches to replica slots: step =
+/// up to K stream batches, one per replica.
+pub struct StreamStepSource<'a> {
+    make: &'a mut dyn FnMut(usize) -> Result<Box<dyn BatchStream>, LoaderError>,
+    stream: Option<Box<dyn BatchStream>>,
+    replicas: usize,
+}
+
+impl<'a> StreamStepSource<'a> {
+    /// A source that rebuilds its stream via `make` at each epoch.
+    pub fn new(
+        make: &'a mut dyn FnMut(usize) -> Result<Box<dyn BatchStream>, LoaderError>,
+        config: &TrainConfig,
+    ) -> StreamStepSource<'a> {
+        StreamStepSource {
+            make,
+            stream: None,
+            replicas: config.replicas.max(1),
+        }
+    }
+}
+
+impl StepSource<(Tensor, Tensor)> for StreamStepSource<'_> {
+    fn begin_epoch(&mut self, epoch: usize) -> Result<(), TrainError> {
+        self.stream = Some((self.make)(epoch)?);
+        Ok(())
+    }
+
+    fn next_step(&mut self) -> Result<Option<Vec<((Tensor, Tensor), usize)>>, TrainError> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Ok(None);
+        };
+        let mut shards = Vec::with_capacity(self.replicas);
+        for _ in 0..self.replicas {
+            match stream.next_batch() {
+                Ok(Some(batch)) => {
+                    let n = batch.0.shape()[0];
+                    shards.push((batch, n));
+                }
+                Ok(None) => {
+                    self.stream = None;
+                    break;
+                }
+                Err(e) => {
+                    // Sticky failure: drop the stream so the epoch ends
+                    // here either way.
+                    self.stream = None;
+                    return Err(e.into());
+                }
+            }
+        }
+        if shards.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(shards))
+        }
+    }
+}
+
+/// One dispatched shard of work.
+struct Job<P> {
+    state: Vec<Tensor>,
+    payload: P,
+    weight: f32,
+}
+
+/// What a replica returns per job.
+struct StepOut {
+    loss: f32,
+    grads: Vec<Option<Tensor>>,
+    state: Vec<Tensor>,
+}
+
+struct RepResult {
+    replica: usize,
+    outcome: Result<StepOut, String>,
+}
+
+/// The data-parallel epoch driver. See the module docs for the step
+/// protocol and the K = 1 bit-identity argument.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fit_replicated<M, P>(
+    config: &TrainConfig,
+    model: &M,
+    factory: &(dyn Fn(usize) -> Box<M> + Sync),
+    loss_fn: &(dyn Fn(&M, &P) -> Var + Sync),
+    source: &mut dyn StepSource<P>,
+    validate: &mut dyn FnMut() -> f32,
+    mut on_improve: Option<&mut dyn FnMut(usize, f32)>,
+) -> Result<TrainReport, TrainError>
+where
+    M: Module + ?Sized,
+    P: Send,
+{
+    let k = config.replicas.max(1);
+    let mut optimizer = Adam::new(model.parameters(), config.learning_rate);
+    let params = model.parameters();
+    let mut report = empty_report();
+    let mut best = f32::INFINITY;
+    let mut best_state: Option<Vec<Tensor>> = None;
+    let mut stale = 0usize;
+    let run: Result<(), TrainError> = std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<RepResult>();
+        let mut job_txs = Vec::with_capacity(k);
+        for r in 0..k {
+            let (tx, rx) = mpsc::channel::<Job<P>>();
+            job_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let device = config.device;
+            scope.spawn(move || replica_worker(r, device, factory, loss_fn, &rx, &res_tx));
+        }
+        drop(res_tx);
+        for epoch in 0..config.epochs {
+            model.set_training(true);
+            let start = Instant::now();
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            let mut samples = 0usize;
+            {
+                let _epoch_t = geotorch_telemetry::scope!("core.trainer.epoch");
+                source.begin_epoch(epoch)?;
+                while let Some(shards) = source.next_step()? {
+                    let n_total: usize = shards.iter().map(|(_, n)| *n).sum();
+                    if n_total == 0 {
+                        continue;
+                    }
+                    let state = model.state_dict();
+                    let mut dealt: Vec<(usize, f32)> = Vec::with_capacity(shards.len());
+                    for (slot, (payload, n)) in shards.into_iter().enumerate() {
+                        let weight = n as f32 / n_total as f32;
+                        job_txs[slot]
+                            .send(Job {
+                                state: state.clone(),
+                                payload,
+                                weight,
+                            })
+                            .map_err(|_| TrainError::Replica {
+                                replica: slot,
+                                message: "replica worker exited before dispatch".into(),
+                            })?;
+                        dealt.push((slot, weight));
+                    }
+                    let mut outs: Vec<Option<StepOut>> = (0..k).map(|_| None).collect();
+                    for _ in 0..dealt.len() {
+                        let res = res_rx.recv().map_err(|_| TrainError::Replica {
+                            replica: 0,
+                            message: "all replica workers exited mid-step".into(),
+                        })?;
+                        match res.outcome {
+                            Ok(out) => outs[res.replica] = Some(out),
+                            Err(message) => {
+                                return Err(TrainError::Replica {
+                                    replica: res.replica,
+                                    message,
+                                })
+                            }
+                        }
+                    }
+                    // Weighted step loss: Σ (n_r/N)·loss_r is the
+                    // N-sample mean for mean-style losses; with K = 1
+                    // the weight is exactly 1.0.
+                    for (slot, weight) in &dealt {
+                        epoch_loss += weight * outs[*slot].as_ref().expect("recorded").loss;
+                    }
+                    batches += 1;
+                    samples += n_total;
+                    merge_step(&params, &outs, &dealt);
+                    if config.update_mode == UpdateMode::Incremental {
+                        clip_and_step(config, &mut optimizer);
+                    }
+                }
+                if config.update_mode == UpdateMode::Cumulative && batches > 0 {
+                    scale_grads(optimizer.parameters(), 1.0 / batches as f32);
+                    clip_and_step(config, &mut optimizer);
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            report.epoch_seconds.push(secs);
+            report
+                .samples_per_sec
+                .push(if secs > 0.0 { samples as f64 / secs } else { 0.0 });
+            report
+                .train_losses
+                .push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            report.epochs_run = epoch + 1;
+            geotorch_telemetry::count!("core.trainer.epochs", 1);
+            geotorch_telemetry::count!("core.trainer.samples", samples);
+
+            let val = validate();
+            report.val_metrics.push(val);
+            if val + 1e-6 < best {
+                best = val;
+                best_state = Some(model.state_dict());
+                stale = 0;
+                // The canonical model holds the post-average, post-step
+                // weights here — the hook point for atomic checkpoints.
+                if let Some(hook) = on_improve.as_deref_mut() {
+                    hook(epoch + 1, val);
+                }
+            } else {
+                stale += 1;
+                if let Some(patience) = config.early_stopping_patience {
+                    if stale >= patience {
+                        report.stop_reason = StopReason::EarlyStopped {
+                            epoch: epoch + 1,
+                            patience,
+                        };
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+        // Scope exit drops every job sender; replica workers drain and
+        // join here — on the error path too, so a failed epoch never
+        // leaks threads or deadlocks.
+    });
+    run?;
+    if let Some(state) = best_state {
+        model
+            .load_state_dict(&state)
+            .expect("state dict snapshot of the same model always matches");
+    }
+    stamp_host(&mut report);
+    Ok(report)
+}
+
+/// Merge one step's replica results into the canonical parameters:
+/// gradients summed in replica order (they arrive pre-scaled by
+/// `n_r/N`), gradient-less parameters (running statistics) adopted from
+/// the lowest dispatched replica.
+fn merge_step(params: &[Var], outs: &[Option<StepOut>], dealt: &[(usize, f32)]) {
+    let first = dealt[0].0;
+    for (i, p) in params.iter().enumerate() {
+        let mut total: Option<Tensor> = None;
+        for (slot, _) in dealt {
+            let out = outs[*slot].as_ref().expect("recorded");
+            if let Some(g) = &out.grads[i] {
+                match &mut total {
+                    None => total = Some(g.clone()),
+                    Some(t) => t.add_(g),
+                }
+            }
+        }
+        match total {
+            Some(t) => p.seed_grad(t),
+            None => p.assign(outs[first].as_ref().expect("recorded").state[i].clone()),
+        }
+    }
+}
+
+/// Clip (if configured), step, and clear gradients — the classic
+/// trainer's cadence, verbatim.
+fn clip_and_step(config: &TrainConfig, optimizer: &mut Adam) {
+    if let Some(max_norm) = config.gradient_clip {
+        geotorch_nn::schedule::clip_grad_norm(optimizer.parameters(), max_norm);
+    }
+    optimizer.step();
+    optimizer.zero_grad();
+}
+
+/// A replica worker: build the private model once, then serve jobs until
+/// the master hangs up. Exactly one result is sent per job — panics in
+/// the factory or the loss surface as `Err` results, never a hang.
+fn replica_worker<M, P>(
+    replica: usize,
+    device: Device,
+    factory: &(dyn Fn(usize) -> Box<M> + Sync),
+    loss_fn: &(dyn Fn(&M, &P) -> Var + Sync),
+    jobs: &mpsc::Receiver<Job<P>>,
+    results: &mpsc::Sender<RepResult>,
+) where
+    M: Module + ?Sized,
+    P: Send,
+{
+    let built = std::panic::catch_unwind(AssertUnwindSafe(|| factory(replica)));
+    let model: Option<Box<M>> = match built {
+        Ok(m) => Some(m),
+        Err(panic) => {
+            let _ = results.send(RepResult {
+                replica,
+                outcome: Err(format!(
+                    "replica factory panicked: {}",
+                    panic_message(&panic)
+                )),
+            });
+            None
+        }
+    };
+    for job in jobs.iter() {
+        let outcome = match &model {
+            None => Err("replica model was never built".to_string()),
+            Some(model) => {
+                std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&**model, loss_fn, device, &job)))
+                    .unwrap_or_else(|panic| {
+                        Err(format!("replica step panicked: {}", panic_message(&panic)))
+                    })
+            }
+        };
+        if results.send(RepResult { replica, outcome }).is_err() {
+            break;
+        }
+    }
+}
+
+fn run_job<M, P>(
+    model: &M,
+    loss_fn: &(dyn Fn(&M, &P) -> Var + Sync),
+    device: Device,
+    job: &Job<P>,
+) -> Result<StepOut, String>
+where
+    M: Module + ?Sized,
+    P: Send,
+{
+    with_device(device, || {
+        model
+            .load_state_dict(&job.state)
+            .map_err(|e| format!("broadcast state rejected: {e}"))?;
+        model.set_training(true);
+        let params = model.parameters();
+        let loss = loss_fn(model, &job.payload);
+        let value = loss.value();
+        let item = value.item();
+        // Seeding backward with w_r scales every gradient by n_r/N at
+        // the source, so the master's merge is a plain sum. w = 1.0 for
+        // K = 1 makes this bit-identical to `loss.backward()`.
+        let seed = Tensor::from_vec(vec![job.weight; value.len()], value.shape());
+        loss.backward_with(seed);
+        drop(loss);
+        let grads: Vec<Option<Tensor>> = params.iter().map(Var::grad).collect();
+        for p in &params {
+            p.zero_grad();
+        }
+        Ok(StepOut {
+            loss: item,
+            grads,
+            state: model.state_dict(),
+        })
+    })
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+// ------------------------------------------------- Trainer entry points
+
+/// [`IndexStepSource`] with a master-side materializer: index shards
+/// become batch payloads *before* dispatch, so replica workers never
+/// touch the (non-`Sync`) dataset.
+type Materializer<'a, P> = Box<dyn FnMut(&[usize]) -> P + 'a>;
+
+struct MaterializedSource<'a, P> {
+    inner: IndexStepSource<'a>,
+    materialize: Materializer<'a, P>,
+}
+
+impl<P> StepSource<P> for MaterializedSource<'_, P> {
+    fn begin_epoch(&mut self, epoch: usize) -> Result<(), TrainError> {
+        self.inner.begin_epoch(epoch)
+    }
+
+    fn next_step(&mut self) -> Result<Option<Vec<(P, usize)>>, TrainError> {
+        Ok(self.inner.next_step()?.map(|shards| {
+            shards
+                .into_iter()
+                .map(|(idx, n)| ((self.materialize)(&idx), n))
+                .collect()
+        }))
+    }
+}
+
+fn classifier_loss(
+    m: &(dyn geotorch_models::RasterClassifier + 'static),
+    batch: &geotorch_datasets::RasterBatchData,
+) -> Var {
+    let x = Var::constant(batch.x.clone());
+    let features = batch.features.clone().map(Var::constant);
+    let logits = m.forward(&x, features.as_ref());
+    geotorch_nn::loss::cross_entropy_loss(&logits, &batch.labels)
+}
+
+fn grid_loss(
+    m: &(dyn geotorch_models::GridModel + 'static),
+    batch: &geotorch_datasets::StBatch,
+) -> Var {
+    let (input, target) = crate::trainer::grid_io(batch);
+    mse_loss(&m.forward(&input), &target)
+}
+
+impl Trainer {
+    /// Data-parallel [`Trainer::fit_classifier`]: `config.replicas`
+    /// model replicas (built per worker thread by `factory`), each batch
+    /// sharded contiguously across them, gradients averaged per step.
+    /// `model` stays canonical — validation, early stopping, and the
+    /// returned weights all live on it. With `replicas = 1` the result
+    /// is bit-identical to [`Trainer::fit_classifier`].
+    ///
+    /// # Errors
+    /// If a replica worker fails (panic in the model's forward, state
+    /// broadcast rejected).
+    pub fn fit_classifier_replicated(
+        &self,
+        model: &(dyn geotorch_models::RasterClassifier + 'static),
+        factory: &(dyn Fn(usize) -> Box<dyn geotorch_models::RasterClassifier> + Sync),
+        dataset: &geotorch_datasets::RasterDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> Result<TrainReport, TrainError> {
+        let mut source = MaterializedSource {
+            inner: IndexStepSource::new(train_idx, self.config()),
+            materialize: Box::new(|idx| dataset.batch(idx)),
+        };
+        with_device(self.config().device, || {
+            fit_replicated(
+                self.config(),
+                model,
+                factory,
+                &classifier_loss,
+                &mut source,
+                &mut || 1.0 - self.evaluate_classifier(model, dataset, val_idx),
+                None,
+            )
+        })
+    }
+
+    /// Data-parallel [`Trainer::fit_grid`] — see
+    /// [`Trainer::fit_classifier_replicated`] for the protocol.
+    ///
+    /// # Errors
+    /// If a replica worker fails.
+    pub fn fit_grid_replicated(
+        &self,
+        model: &(dyn geotorch_models::GridModel + 'static),
+        factory: &(dyn Fn(usize) -> Box<dyn geotorch_models::GridModel> + Sync),
+        dataset: &geotorch_datasets::StGridDataset,
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> Result<TrainReport, TrainError> {
+        let mut source = MaterializedSource {
+            inner: IndexStepSource::new(train_idx, self.config()),
+            materialize: Box::new(|idx| dataset.batch(idx)),
+        };
+        with_device(self.config().device, || {
+            fit_replicated(
+                self.config(),
+                model,
+                factory,
+                &grid_loss,
+                &mut source,
+                &mut || self.evaluate_grid(model, dataset, val_idx).0,
+                None,
+            )
+        })
+    }
+
+    /// Train on a [`BatchStream`] with MSE loss and K data-parallel
+    /// replicas: each step deals up to K consecutive stream batches, one
+    /// per replica. `make_stream` rebuilds the stream per epoch (wrap it
+    /// in a `PrefetchLoader` to overlap formatting with training);
+    /// `forward` maps a feature batch through the model; `on_improve`
+    /// fires while the canonical model holds the post-average weights of
+    /// the best epoch so far — the place to take atomic checkpoints.
+    ///
+    /// # Errors
+    /// If the stream fails mid-epoch (spill read, injected prefetch
+    /// fault) or a replica worker fails. The epoch is abandoned cleanly:
+    /// workers are joined and no partial optimizer step is taken.
+    pub fn fit_stream<M: Module + ?Sized>(
+        &self,
+        model: &M,
+        factory: &(dyn Fn(usize) -> Box<M> + Sync),
+        forward: &(dyn Fn(&M, &Var) -> Var + Sync),
+        make_stream: &mut dyn FnMut(usize) -> Result<Box<dyn BatchStream>, LoaderError>,
+        validate: &mut dyn FnMut() -> f32,
+        on_improve: Option<&mut dyn FnMut(usize, f32)>,
+    ) -> Result<TrainReport, TrainError> {
+        let loss = |m: &M, batch: &(Tensor, Tensor)| {
+            let pred = forward(m, &Var::constant(batch.0.clone()));
+            mse_loss(&pred, &Var::constant(batch.1.clone()))
+        };
+        let mut source = StreamStepSource::new(make_stream, self.config());
+        with_device(self.config().device, || {
+            fit_replicated(
+                self.config(),
+                model,
+                factory,
+                &loss,
+                &mut source,
+                validate,
+                on_improve,
+            )
+        })
+    }
+}

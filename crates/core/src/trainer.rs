@@ -54,6 +54,12 @@ pub struct TrainConfig {
     /// `Device::parallel()` routes the hot kernels through the persistent
     /// worker pool; the default `Device::Cpu` stays serial.
     pub device: Device,
+    /// Data-parallel model replicas for the `fit_*_replicated` /
+    /// `fit_stream` entry points (see [`crate::replica`]). Each step is
+    /// sharded across this many replicas and their gradients averaged
+    /// before one optimizer step; `1` reproduces the classic trainer
+    /// bit-for-bit. The classic `fit_*` entry points ignore this field.
+    pub replicas: usize,
 }
 
 impl Default for TrainConfig {
@@ -67,6 +73,7 @@ impl Default for TrainConfig {
             gradient_clip: None,
             seed: 0,
             device: Device::Cpu,
+            replicas: 1,
         }
     }
 }
@@ -101,6 +108,15 @@ pub struct TrainReport {
     pub samples_per_sec: Vec<f64>,
     /// Why the run ended.
     pub stop_reason: StopReason,
+    /// CPU cores the host exposed during the run. Throughput numbers
+    /// from single-core containers are not comparable to multi-core
+    /// hosts; stamping the core count makes every artifact
+    /// self-describing.
+    pub host_cores: usize,
+    /// Tensor-pool high-water mark (bytes) when the run finished — the
+    /// peak pooled working set, the figure the out-of-core pipeline
+    /// bounds.
+    pub pool_high_water_bytes: u64,
 }
 
 impl TrainReport {
@@ -173,14 +189,7 @@ impl Trainer {
         validate: &mut dyn FnMut() -> f32,
     ) -> TrainReport {
         let mut optimizer = Adam::new(model.parameters(), self.config.learning_rate);
-        let mut report = TrainReport {
-            train_losses: Vec::new(),
-            val_metrics: Vec::new(),
-            epochs_run: 0,
-            epoch_seconds: Vec::new(),
-            samples_per_sec: Vec::new(),
-            stop_reason: StopReason::MaxEpochs,
-        };
+        let mut report = empty_report();
         let mut best = f32::INFINITY;
         let mut best_state: Option<Vec<Tensor>> = None;
         let mut stale = 0usize;
@@ -259,6 +268,7 @@ impl Trainer {
                 .load_state_dict(&state)
                 .expect("state dict snapshot of the same model always matches");
         }
+        stamp_host(&mut report);
         report
     }
 
@@ -450,8 +460,29 @@ impl Trainer {
     }
 }
 
+/// An all-zero [`TrainReport`] for an about-to-run fit.
+pub(crate) fn empty_report() -> TrainReport {
+    TrainReport {
+        train_losses: Vec::new(),
+        val_metrics: Vec::new(),
+        epochs_run: 0,
+        epoch_seconds: Vec::new(),
+        samples_per_sec: Vec::new(),
+        stop_reason: StopReason::MaxEpochs,
+        host_cores: 0,
+        pool_high_water_bytes: 0,
+    }
+}
+
+/// Stamp the host core count and the tensor-pool high-water mark into a
+/// finished report.
+pub(crate) fn stamp_host(report: &mut TrainReport) {
+    report.host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.pool_high_water_bytes = geotorch_tensor::pool::stats().high_water_bytes;
+}
+
 /// Replace each parameter's accumulated gradient with `grad * scale`.
-fn scale_grads(params: &[Var], scale: f32) {
+pub(crate) fn scale_grads(params: &[Var], scale: f32) {
     for p in params {
         if let Some(g) = p.grad() {
             let scaled = g.mul_scalar(scale);
@@ -511,6 +542,7 @@ mod tests {
             gradient_clip: None,
             seed: 0,
             device: Device::Cpu,
+            replicas: 1,
         }
     }
 
@@ -603,6 +635,7 @@ mod tests {
             gradient_clip: None,
             seed: 0,
             device: Device::Cpu,
+            replicas: 1,
         };
         struct Identity;
         impl geotorch_nn::Module for Identity {

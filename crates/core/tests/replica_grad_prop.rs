@@ -1,0 +1,155 @@
+//! Property: the K-replica averaged gradient step bit-equals the
+//! single-replica full-batch step.
+//!
+//! On *lattice* inputs — every value a multiple of 1/16, magnitudes
+//! bounded — every intermediate sum, mean, and `n_r/N` shard weight is
+//! exactly representable in f32 (all scale factors are powers of two),
+//! so the sharded computation and the full-batch computation must agree
+//! bit-for-bit, not just approximately. Any weighting bug, reordering
+//! hazard, or lost shard in the merge shows up as a hard mismatch.
+//!
+//! Covers K ∈ {2, 3, 4}, including a ragged final step where the stream
+//! yields fewer batches than replicas.
+
+use geotorch_converter::{BatchStream, LoaderError};
+use geotorch_core::{TrainConfig, Trainer, UpdateMode};
+use geotorch_nn::layers::Linear;
+use geotorch_nn::{Layer, Module, Var};
+use geotorch_tensor::{Device, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+const N: usize = 16; // total samples per epoch; power of two
+const D: usize = 2; // feature width
+
+fn lattice(vals: &[i32], shape: &[usize]) -> Tensor {
+    Tensor::from_vec(vals.iter().map(|v| *v as f32 / 16.0).collect(), shape)
+}
+
+/// A canned stream over pre-built batches.
+struct VecStream {
+    batches: std::vec::IntoIter<(Tensor, Tensor)>,
+}
+
+impl BatchStream for VecStream {
+    fn next_batch(&mut self) -> Result<Option<(Tensor, Tensor)>, LoaderError> {
+        Ok(self.batches.next())
+    }
+}
+
+fn fresh_linear(seed: u64) -> Linear {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Linear::new(D, 1, &mut rng)
+}
+
+/// Train one epoch (one optimizer step) on `xs/ys` split into `split`
+/// row-chunks dealt to `replicas` workers; returns the epoch losses and
+/// the post-step weights.
+fn run(
+    xs: &[i32],
+    ys: &[i32],
+    ws: &[i32],
+    b: i32,
+    split: &[usize],
+    replicas: usize,
+) -> (Vec<f32>, Vec<Tensor>) {
+    assert_eq!(split.iter().sum::<usize>(), N);
+    let model = fresh_linear(0);
+    let params = model.parameters();
+    params[0].assign(lattice(ws, &[1, D]));
+    params[1].assign(lattice(&[b], &[1]));
+
+    let config = TrainConfig {
+        epochs: 1,
+        batch_size: N,
+        learning_rate: 0.5,
+        early_stopping_patience: None,
+        update_mode: UpdateMode::Incremental,
+        gradient_clip: None,
+        seed: 0,
+        device: Device::Cpu,
+        replicas,
+    };
+    let trainer = Trainer::new(config);
+
+    let mut batches = Vec::with_capacity(split.len());
+    let mut row = 0;
+    for &n in split {
+        batches.push((
+            lattice(&xs[row * D..(row + n) * D], &[n, D]),
+            lattice(&ys[row..row + n], &[n, 1]),
+        ));
+        row += n;
+    }
+
+    let mut make = move |_epoch: usize| -> Result<Box<dyn BatchStream>, LoaderError> {
+        Ok(Box::new(VecStream {
+            batches: batches.clone().into_iter(),
+        }))
+    };
+    let report = trainer
+        .fit_stream(
+            &model,
+            &|r| Box::new(fresh_linear(100 + r as u64)),
+            &|m: &Linear, x: &Var| m.forward(x),
+            &mut make,
+            &mut || 0.0,
+            None,
+        )
+        .expect("stream fit succeeds");
+    (report.train_losses, model.state_dict())
+}
+
+fn assert_bit_equal(single: &(Vec<f32>, Vec<Tensor>), sharded: &(Vec<f32>, Vec<Tensor>), k: usize) {
+    assert_eq!(
+        single.0, sharded.0,
+        "K={k}: epoch losses diverged from the full-batch run"
+    );
+    for (i, (a, b)) in single.1.iter().zip(&sharded.1).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "K={k}: parameter {i} diverged bit-wise after one averaged step"
+        );
+    }
+}
+
+/// Guard against a vacuous property: one step on a clearly non-optimal
+/// model must actually move the weights.
+#[test]
+fn one_step_moves_the_weights() {
+    let xs = [8i32; N * D];
+    let ys = [16i32; N];
+    let ws = [0i32; D];
+    let (losses, state) = run(&xs, &ys, &ws, 0, &[N], 1);
+    assert_eq!(losses.len(), 1);
+    assert!(losses[0] > 0.0, "nonzero residual expected");
+    let initial = lattice(&ws, &[1, D]);
+    assert_ne!(
+        state[0].as_slice(),
+        initial.as_slice(),
+        "the optimizer step must change the weights"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_gradient_average_bit_equals_full_batch(
+        xs in prop::collection::vec(-16i32..=16, N * D),
+        ys in prop::collection::vec(-16i32..=16, N),
+        ws in prop::collection::vec(-16i32..=16, D),
+        b in -16i32..=16,
+    ) {
+        let single = run(&xs, &ys, &ws, b, &[N], 1);
+        // K=2 and K=4: even power-of-two shards.
+        assert_bit_equal(&single, &run(&xs, &ys, &ws, b, &[8, 8], 2), 2);
+        assert_bit_equal(&single, &run(&xs, &ys, &ws, b, &[4, 4, 4, 4], 4), 4);
+        // K=3: uneven shard weights (1/2, 1/4, 1/4).
+        assert_bit_equal(&single, &run(&xs, &ys, &ws, b, &[8, 4, 4], 3), 3);
+        // Ragged final step: 4 replicas but only 3 batches arrive —
+        // the step must still weight by n_r over the *dealt* total.
+        assert_bit_equal(&single, &run(&xs, &ys, &ws, b, &[8, 4, 4], 4), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! K = 1 bit-identity: the data-parallel trainer with one replica must
+//! reproduce the classic `fit_*` loops exactly — same per-epoch losses,
+//! same validation metrics, same stop reason, and byte-identical
+//! checkpoints of the final weights. This is the invariant that lets
+//! `replicas > 1` be adopted without re-validating any paper figure.
+
+use std::path::PathBuf;
+
+use geotorch_core::{checkpoint, StopReason, TrainConfig, Trainer, UpdateMode};
+use geotorch_datasets::{shuffled_split, RasterDataset, StGridDataset};
+use geotorch_models::grid::PeriodicalCnn;
+use geotorch_models::raster::SatCnn;
+use geotorch_models::{GridModel, RasterClassifier};
+use geotorch_tensor::Device;
+use rand::SeedableRng;
+
+fn config(epochs: usize, update_mode: UpdateMode) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 8,
+        learning_rate: 3e-3,
+        early_stopping_patience: None,
+        update_mode,
+        gradient_clip: None,
+        seed: 0,
+        device: Device::Cpu,
+        replicas: 1,
+    }
+}
+
+fn satcnn() -> SatCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    SatCnn::new(3, 16, 16, 3, &mut rng)
+}
+
+fn satcnn_factory(_replica: usize) -> Box<dyn RasterClassifier> {
+    Box::new(satcnn())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "geotorch_replica_parity_{}_{name}.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn k1_classifier_bit_identical_to_classic_fit() {
+    let dataset = RasterDataset::classification("parity", 3, 16, 16, 3, 24, 0);
+    let (train, val, _) = shuffled_split(dataset.len(), 0);
+
+    let classic_model = satcnn();
+    let trainer = Trainer::new(config(3, UpdateMode::Incremental));
+    let classic = trainer.fit_classifier(&classic_model, &dataset, &train, &val);
+
+    let rep_model = satcnn();
+    let rep = trainer
+        .fit_classifier_replicated(&rep_model, &satcnn_factory, &dataset, &train, &val)
+        .expect("replicated fit succeeds");
+
+    // Exact f32 equality — not approximate. Any reordering of float ops
+    // in the replicated path would show up here.
+    assert_eq!(classic.train_losses, rep.train_losses);
+    assert_eq!(classic.val_metrics, rep.val_metrics);
+    assert_eq!(classic.epochs_run, rep.epochs_run);
+    assert_eq!(classic.stop_reason, rep.stop_reason);
+
+    // The final weights must agree down to the serialized bytes.
+    let classic_path = tmp("classic");
+    let rep_path = tmp("replicated");
+    checkpoint::save(&classic_model, &classic_path).expect("save classic");
+    checkpoint::save(&rep_model, &rep_path).expect("save replicated");
+    let classic_bytes = std::fs::read(&classic_path).expect("read classic");
+    let rep_bytes = std::fs::read(&rep_path).expect("read replicated");
+    assert_eq!(
+        classic_bytes, rep_bytes,
+        "K=1 replicated training must produce byte-identical checkpoints"
+    );
+    std::fs::remove_file(&classic_path).ok();
+    std::fs::remove_file(&rep_path).ok();
+
+    // The report is stamped with the host shape (satellite telemetry).
+    assert!(rep.host_cores >= 1);
+}
+
+#[test]
+fn k1_classifier_matches_under_cumulative_updates() {
+    let dataset = RasterDataset::classification("parity_cum", 3, 16, 16, 3, 16, 1);
+    let (train, val, _) = shuffled_split(dataset.len(), 1);
+
+    let classic_model = satcnn();
+    let trainer = Trainer::new(config(2, UpdateMode::Cumulative));
+    let classic = trainer.fit_classifier(&classic_model, &dataset, &train, &val);
+
+    let rep_model = satcnn();
+    let rep = trainer
+        .fit_classifier_replicated(&rep_model, &satcnn_factory, &dataset, &train, &val)
+        .expect("replicated fit succeeds");
+
+    assert_eq!(classic.train_losses, rep.train_losses);
+    assert_eq!(classic.val_metrics, rep.val_metrics);
+}
+
+#[test]
+fn k1_grid_bit_identical_including_early_stopping() {
+    let mut ds = StGridDataset::bike_nyc_deepstn(10, 3);
+    ds.set_periodical_representation(2, 1, 1);
+    let n = ds.len();
+    let (train, val, _) = geotorch_datasets::chronological_split(n);
+
+    let mk = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        PeriodicalCnn::new(2, (2, 1, 1), 8, &mut rng)
+    };
+    let factory = move |_replica: usize| -> Box<dyn GridModel> { Box::new(mk()) };
+
+    let mut cfg = config(4, UpdateMode::Incremental);
+    cfg.early_stopping_patience = Some(2);
+    let trainer = Trainer::new(cfg);
+
+    let classic_model = mk();
+    let classic = trainer.fit_grid(&classic_model, &ds, &train, &val);
+
+    let rep_model = mk();
+    let rep = trainer
+        .fit_grid_replicated(&rep_model, &factory, &ds, &train, &val)
+        .expect("replicated fit succeeds");
+
+    assert_eq!(classic.train_losses, rep.train_losses);
+    assert_eq!(classic.val_metrics, rep.val_metrics);
+    assert_eq!(classic.epochs_run, rep.epochs_run);
+    match (&classic.stop_reason, &rep.stop_reason) {
+        (StopReason::MaxEpochs, StopReason::MaxEpochs) => {}
+        (
+            StopReason::EarlyStopped { epoch: a, .. },
+            StopReason::EarlyStopped { epoch: b, .. },
+        ) => assert_eq!(a, b),
+        (a, b) => panic!("stop reasons diverged: {a:?} vs {b:?}"),
+    }
+}

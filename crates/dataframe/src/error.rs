@@ -27,6 +27,8 @@ pub enum DfError {
     InvalidGeometry(String),
     /// Operation-specific invalid argument.
     InvalidArgument(String),
+    /// Disk I/O failure (spill files, read-back).
+    Io(String),
 }
 
 impl fmt::Display for DfError {
@@ -42,6 +44,7 @@ impl fmt::Display for DfError {
             DfError::LengthMismatch(msg) => write!(f, "length mismatch: {msg}"),
             DfError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             DfError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DfError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -35,9 +35,11 @@ pub mod groupby;
 pub mod join;
 pub mod rtree;
 pub mod spatial;
+pub mod spill;
 pub mod stats;
 
 pub use column::{Column, DType, Value};
 pub use error::{DfError, DfResult};
 pub use frame::{DataFrame, Schema};
 pub use geometry::{Envelope, Geometry, Point, Polygon};
+pub use spill::SpillStore;

@@ -75,6 +75,7 @@ fn train_checkpoint_serve_roundtrip() {
         gradient_clip: None,
         seed: 0,
         device: Device::Cpu,
+        replicas: 1,
     });
     let (train, val, _) = shuffled_split(dataset.len(), 0);
     trainer.fit_classifier(&model, &dataset, &train, &val);

@@ -125,10 +125,12 @@ pub mod preprocessing {
     }
 }
 
-/// The DFtoTorch converter (§III-C).
+/// The DFtoTorch converter (§III-C): eager formatting plus the
+/// pull-based streaming loader (`BatchStream` → `PrefetchLoader`).
 pub mod converter {
     pub use geotorch_converter::{
-        collect_then_batch, DfFormatter, FormattedFrame, FormattedPartition, RowTransformer,
+        collect_then_batch, BatchStream, DfFormatter, FormattedFrame, FormattedPartition,
+        FrameBatchStream, LoaderError, PrefetchLoader, RowTransformer, SpillBatchStream,
         TransformSpec,
     };
 }
@@ -144,13 +146,17 @@ pub mod raster {
     };
 }
 
-/// Training utilities.
+/// Training utilities, including the K-replica data-parallel trainer
+/// (`Trainer::fit_*_replicated`, `Trainer::fit_stream`).
 pub mod train {
     pub use geotorch_core::checkpoint;
     pub use geotorch_nn::schedule::{clip_grad_norm, CosineLr, LrSchedule, StepLr};
     pub use geotorch_core::metrics;
     pub use geotorch_core::trainer::grid_io;
-    pub use geotorch_core::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};
+    pub use geotorch_core::{
+        IndexStepSource, StepSource, StopReason, StreamStepSource, TrainConfig, TrainError,
+        TrainReport, Trainer, UpdateMode,
+    };
 }
 
 /// Batched inference serving: registry, micro-batching scheduler, and

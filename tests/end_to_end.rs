@@ -89,7 +89,8 @@ fn preprocessed_tensor_trains_a_grid_model() {
 
 #[test]
 fn converter_round_trips_preprocessed_frame() {
-    use geotorchai::converter::{DfFormatter, RowTransformer};
+    use geotorchai::converter::{BatchStream, DfFormatter, FrameBatchStream, RowTransformer};
+    use std::sync::Arc;
     let (df, config) = trips_df(5_000);
     let frame = {
         let with_points =
@@ -97,16 +98,18 @@ fn converter_round_trips_preprocessed_frame() {
         StManager::get_st_grid_dataframe(&with_points, "pt", "ts", &config).expect("grid")
     };
     // The sparse (time_step, cell_id, count) frame maps straight into
-    // tensor batches via the DFtoTorch converter.
+    // tensor batches via the DFtoTorch converter's pull-based stream —
+    // one batch in memory at a time, never the whole Vec.
     let formatter =
         DfFormatter::for_prediction(&["time_step", "cell_id"], &[2], &["count"], &[1])
             .expect("formatter");
     let formatted = formatter.format(&frame.frame).expect("format");
     assert_eq!(formatted.num_rows(), frame.frame.num_rows());
-    let transformer = RowTransformer::new(64);
+    let mut stream =
+        FrameBatchStream::new(Arc::new(RowTransformer::new(64)), Arc::new(formatted));
     let mut rows = 0;
     let mut total_count = 0.0;
-    for (x, y) in transformer.batches(&formatted) {
+    while let Some((x, y)) = stream.next_batch().expect("stream") {
         assert_eq!(x.shape()[1], 2);
         rows += x.shape()[0];
         total_count += y.sum();
