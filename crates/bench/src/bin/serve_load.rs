@@ -27,9 +27,18 @@
 //! mid-headers (a slow-loris swarm) and verifies that live `/predict`
 //! and `/healthz` probes still answer promptly — the event-driven
 //! front's reason to exist. Results go to `results/serve_storm.md`.
+//!
+//! With `--republish` it soaks the registry hot-swap path: closed-loop
+//! clients hammer `/predict` while the main thread publishes several
+//! fine-tuned checkpoints through `POST /models/<m>/publish`. Every
+//! response must be a 200 carrying an `X-Model-Version` header naming
+//! exactly one published manifest id (no dropped or erroneous requests,
+//! ≥ 2 distinct versions observed). Results go to
+//! `results/serve_republish.md`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
@@ -77,6 +86,43 @@ impl ServeModel for SleepModel {
         std::thread::sleep(Duration::from_millis(self.ms));
         batch.clone()
     }
+}
+
+/// One blocking HTTP POST over a fresh connection, keeping the whole
+/// response: status, the `X-Model-Version` header if present, and the
+/// body. `Err` means the request was dropped (connect/read failure) —
+/// the republish soak counts those as failures.
+fn post_full(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> Result<(u16, Option<String>, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {response:.60}"))?;
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .ok_or("response without header terminator")?;
+    let version = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("x-model-version")
+            .then(|| value.trim().to_string())
+    });
+    Ok((status, version, payload.to_string()))
 }
 
 /// One blocking HTTP POST over a fresh connection; returns the status.
@@ -353,6 +399,210 @@ fn run_overload(quick: bool) -> Result<String, String> {
     Ok(report)
 }
 
+/// The registry's seeded state with only the classifier-head bias
+/// shifted — a fine-tune whose delta is one small tensor.
+fn fine_tuned(delta: f32) -> Vec<Tensor> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let model = SatCnn::new(3, 32, 32, 10, &mut rng);
+    let mut state = model.state_dict();
+    let last = state.len() - 1;
+    state[last] = state[last].add_scalar(delta);
+    state
+}
+
+/// Serialise a full state dict as a classic named checkpoint — the body
+/// `POST /models/<m>/publish` accepts.
+fn checkpoint_body(state: &[Tensor], tag: usize) -> String {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let model = SatCnn::new(3, 32, 32, 10, &mut rng);
+    model.load_state_dict(state).expect("state dict fits the model");
+    let path = std::env::temp_dir().join(format!(
+        "geotorch_republish_{}_{tag}.json",
+        std::process::id()
+    ));
+    geotorch_core::checkpoint::save_named(&model, MODEL, &path).expect("serialise checkpoint");
+    let body = std::fs::read_to_string(&path).expect("read checkpoint");
+    std::fs::remove_file(&path).ok();
+    body
+}
+
+/// Pull the manifest id out of a publish response
+/// (`{"model": ..., "id": "...", ...}`).
+fn extract_id(body: &str) -> Option<String> {
+    let start = body.find("\"id\":\"")? + "\"id\":\"".len();
+    let rest = &body[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Soak the hot-swap path: closed-loop clients drive `/predict` while
+/// the main thread publishes `republishes` fine-tuned checkpoints. No
+/// request may be dropped or answered with anything but 200, and every
+/// response must name exactly one known model version.
+fn run_republish(quick: bool) -> Result<String, String> {
+    let republishes = if quick { 3 } else { 5 };
+    let clients = 6;
+    let store = std::env::temp_dir().join(format!(
+        "geotorch_serve_republish_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&store).ok();
+    let mut registry = registry();
+    assert!(registry.enable_sync(MODEL, store.clone()), "model registered");
+    let config = ServeConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_wait_ms: 2,
+            device: Device::parallel(),
+            queue_bound: 256,
+            replicas: 2,
+        },
+        http_workers: clients + 2,
+        enable_telemetry: false,
+        default_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry, config).expect("server starts");
+    let addr = server.addr();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let sample = Tensor::rand_uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+    let payload = serde_json::to_string(&sample).expect("serialize sample");
+    let path = format!("/predict/{MODEL}");
+
+    let (status, initial, _) = post_full(addr, &path, &payload).map_err(|e| format!("warm-up: {e}"))?;
+    if status != 200 {
+        return Err(format!("warm-up request got status {status}"));
+    }
+    let initial = initial.ok_or("warm-up response carried no X-Model-Version header")?;
+
+    // Pre-serialise every checkpoint body so the publish cadence under
+    // load is not dominated by JSON encoding.
+    let bodies: Vec<String> = (1..=republishes)
+        .map(|k| checkpoint_body(&fine_tuned(k as f32 * 0.4), k))
+        .collect();
+
+    eprintln!(
+        "republish soak: {clients} closed-loop clients, {republishes} publishes mid-load ..."
+    );
+    let stop = AtomicBool::new(false);
+    let publish_path = format!("/models/{MODEL}/publish");
+    let (results, published): (Vec<_>, Vec<String>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let (stop, payload, path) = (&stop, payload.as_str(), path.as_str());
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        seen.push(post_full(addr, path, payload));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Publishes interleave with the load: each one diffs against the
+        // store head and hot-swaps both replicas between batches.
+        let mut published = Vec::with_capacity(republishes);
+        std::thread::sleep(Duration::from_millis(100));
+        for body in &bodies {
+            match post_full(addr, &publish_path, body) {
+                Ok((200, _, response)) => match extract_id(&response) {
+                    Some(id) => published.push(id),
+                    None => published.push(format!("unparsed: {response:.60}")),
+                },
+                Ok((status, _, response)) => {
+                    published.push(format!("publish failed: {status} {response:.60}"));
+                }
+                Err(e) => published.push(format!("publish dropped: {e}")),
+            }
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let results = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        (results, published)
+    });
+    server.shutdown();
+    std::fs::remove_dir_all(&store).ok();
+
+    // Every publish must have gone through (a failed one pushed an
+    // error string instead of a 16-hex manifest id).
+    if let Some(bad) = published.iter().find(|id| !id.chars().all(|c| c.is_ascii_hexdigit())) {
+        return Err(bad.clone());
+    }
+    let mut known: Vec<String> = vec![initial.clone()];
+    known.extend(published.iter().cloned());
+
+    let total = results.len();
+    let mut dropped = Vec::new();
+    let mut bad_status = Vec::new();
+    let mut unversioned = 0usize;
+    let mut counts: Vec<(String, usize)> = known.iter().map(|id| (id.clone(), 0)).collect();
+    let mut unknown = Vec::new();
+    for outcome in &results {
+        match outcome {
+            Err(e) => dropped.push(e.clone()),
+            Ok((status, _, body)) if *status != 200 => {
+                bad_status.push(format!("{status}: {body:.60}"));
+            }
+            Ok((_, None, _)) => unversioned += 1,
+            Ok((_, Some(version), _)) => {
+                match counts.iter_mut().find(|(id, _)| id == version) {
+                    Some((_, n)) => *n += 1,
+                    None => unknown.push(version.clone()),
+                }
+            }
+        }
+    }
+    let distinct = counts.iter().filter(|(_, n)| *n > 0).count();
+
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, (id, n))| {
+            let label = if i == 0 {
+                "seed head".to_string()
+            } else {
+                format!("publish #{i}")
+            };
+            vec![label, id.clone(), format!("{n}")]
+        })
+        .collect();
+    let table = markdown_table(&["version", "manifest id", "responses"], &rows);
+    let report = format!(
+        "## Hot-swap soak — republishing under live load\n\n{table}\n_{total} responses from {clients} closed-loop clients across {republishes} mid-load publishes; every response answered 200 and named exactly one model version ({distinct} distinct versions observed)_\n"
+    );
+    println!("{report}");
+    std::fs::create_dir_all("results").ok();
+    let report = format!("{report}{}", geotorch_bench::host_stamp());
+    std::fs::write("results/serve_republish.md", &report).ok();
+
+    if !dropped.is_empty() {
+        return Err(format!("{} requests dropped (first: {})", dropped.len(), dropped[0]));
+    }
+    if !bad_status.is_empty() {
+        return Err(format!(
+            "{} non-200 responses under republish (first: {})",
+            bad_status.len(),
+            bad_status[0]
+        ));
+    }
+    if unversioned > 0 {
+        return Err(format!("{unversioned} responses carried no X-Model-Version header"));
+    }
+    if !unknown.is_empty() {
+        return Err(format!(
+            "responses named versions that were never published: {unknown:?}"
+        ));
+    }
+    if distinct < 2 {
+        return Err(format!(
+            "only {distinct} distinct version(s) observed across {republishes} publishes — the swap never landed mid-load"
+        ));
+    }
+    Ok(report)
+}
+
 /// A slow-loris swarm: `idle` connections stall mid-headers while live
 /// probes measure whether anyone else still gets served.
 fn run_storm(quick: bool) -> Result<String, String> {
@@ -463,6 +713,13 @@ fn main() {
     }
     if args.iter().any(|a| a == "--storm") {
         if let Err(msg) = run_storm(quick) {
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--republish") {
+        if let Err(msg) = run_republish(quick) {
             eprintln!("FAIL: {msg}");
             std::process::exit(1);
         }

@@ -13,6 +13,13 @@
 //!
 //! Legacy headerless files (a bare JSON array of tensors, the pre-v1
 //! format) are still readable by [`load`] and [`load_named`].
+//!
+//! Format version 2 is the *manifest* form used by the replicated
+//! registry (see [`crate::delta`]): the file holds per-tensor
+//! `(version, content-hash)` entries and DAG parents instead of inline
+//! tensors, with payloads in sibling files. [`peek`] reads a manifest
+//! without touching any payload; [`load`]/[`load_named`] resolve the
+//! payloads from the manifest's directory.
 
 use std::path::Path;
 
@@ -132,9 +139,15 @@ pub struct CheckpointMeta {
     pub shapes: Vec<Vec<usize>>,
 }
 
-/// Parse a checkpoint file into its metadata and tensors, accepting both
-/// the v1 header format and legacy headerless arrays.
-fn parse(path: &Path) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> {
+/// What a checkpoint file turned out to hold.
+enum ParsedFile {
+    /// Legacy array or v1 header: tensors inline.
+    Inline(CheckpointMeta, Vec<Tensor>),
+    /// v2 manifest: per-tensor versions, payloads in sibling files.
+    Manifest(crate::delta::Manifest),
+}
+
+fn parse_file(path: &Path) -> Result<ParsedFile, CheckpointError> {
     if let Err(msg) = geotorch_telemetry::fault_point!("core.checkpoint.load") {
         return Err(CheckpointError::Format(format!(
             "injected load fault: {msg}"
@@ -143,10 +156,36 @@ fn parse(path: &Path) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> 
     let json = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
     let value: Value =
         serde_json::from_str(&json).map_err(|e| CheckpointError::Format(e.to_string()))?;
-    match &value {
+    if value.get("version").and_then(Value::as_f64) == Some(crate::delta::MANIFEST_VERSION as f64)
+    {
+        return crate::delta::Manifest::from_value(&value).map(ParsedFile::Manifest);
+    }
+    parse_inline(&value).map(|(meta, tensors)| ParsedFile::Inline(meta, tensors))
+}
+
+/// Parse an *inline* checkpoint (legacy headerless array or the v1
+/// header format) from already-read JSON text. Manifest files carry no
+/// tensor data and are rejected here — load them through a
+/// [`crate::delta::DeltaStore`] or by path via [`load`].
+pub fn parse_bytes(json: &str) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> {
+    let value: Value =
+        serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if value.get("version").and_then(Value::as_f64) == Some(crate::delta::MANIFEST_VERSION as f64)
+    {
+        return Err(CheckpointError::Format(
+            "a manifest carries no tensor payloads; load it through its store".to_string(),
+        ));
+    }
+    parse_inline(&value)
+}
+
+/// Parse an inline checkpoint value, accepting both the v1 header
+/// format and legacy headerless arrays.
+fn parse_inline(value: &Value) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> {
+    match value {
         // Legacy: a bare array of tensors, no metadata.
         Value::Array(_) => {
-            let tensors = Vec::<Tensor>::from_value(&value)
+            let tensors = Vec::<Tensor>::from_value(value)
                 .map_err(|e| CheckpointError::Format(e.to_string()))?;
             let shapes = tensors.iter().map(|t| t.shape().to_vec()).collect();
             Ok((
@@ -234,8 +273,19 @@ fn parse(path: &Path) -> Result<(CheckpointMeta, Vec<Tensor>), CheckpointError> 
 }
 
 /// Read only a checkpoint's metadata (version, model name, shapes).
+///
+/// For a v2 manifest this reads *just* the manifest file — no tensor
+/// payload is touched, so peeking a multi-hundred-MB checkpoint stays
+/// O(header).
 pub fn peek(path: impl AsRef<Path>) -> Result<CheckpointMeta, CheckpointError> {
-    parse(path.as_ref()).map(|(meta, _)| meta)
+    match parse_file(path.as_ref())? {
+        ParsedFile::Inline(meta, _) => Ok(meta),
+        ParsedFile::Manifest(manifest) => Ok(CheckpointMeta {
+            version: crate::delta::MANIFEST_VERSION,
+            model: manifest.model,
+            shapes: manifest.shapes,
+        }),
+    }
 }
 
 /// Load parameters saved by [`save`]/[`save_named`] (or a legacy file)
@@ -261,7 +311,22 @@ fn load_impl(
     expected: Option<&str>,
     path: &Path,
 ) -> Result<(), CheckpointError> {
-    let (meta, state) = parse(path)?;
+    let (meta, state) = match parse_file(path)? {
+        ParsedFile::Inline(meta, tensors) => (meta, tensors),
+        ParsedFile::Manifest(manifest) => {
+            // Payloads live next to the manifest file (the store root).
+            let dir = path.parent().unwrap_or_else(|| Path::new("."));
+            let tensors = crate::delta::manifest_tensors(dir, &manifest)?;
+            (
+                CheckpointMeta {
+                    version: crate::delta::MANIFEST_VERSION,
+                    model: manifest.model,
+                    shapes: manifest.shapes,
+                },
+                tensors,
+            )
+        }
+    };
     if let (Some(expected), Some(saved)) = (expected, meta.model.as_deref()) {
         if expected != saved {
             return Err(CheckpointError::WrongModel {

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod delta;
 pub mod metrics;
 pub mod replica;
 pub mod trainer;
 
+pub use delta::{DeltaStore, IntegrateReport, Manifest, PublishReport, TensorVersion};
 pub use replica::{IndexStepSource, StepSource, StreamStepSource, TrainError};
 pub use trainer::{StopReason, TrainConfig, TrainReport, Trainer, UpdateMode};

@@ -1,0 +1,115 @@
+//! Regression tests for checkpoint format compatibility: the v2
+//! versioned manifest must not break anything that loaded before it —
+//! bare-array (v0) files, v1 named headers — and a manifest must
+//! round-trip through `peek` from its header fields alone, without
+//! reading a single tensor payload.
+
+use std::path::PathBuf;
+
+use geotorch_core::checkpoint::{self, CheckpointError};
+use geotorch_core::{DeltaStore, Manifest};
+use geotorch_models::raster::SatCnn;
+use geotorch_models::RasterClassifier;
+use geotorch_nn::{Module, Var};
+use geotorch_tensor::Tensor;
+use rand::SeedableRng;
+use serde::Serialize;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("geotorch_legacy_{}_{name}", std::process::id()))
+}
+
+fn model(seed: u64) -> SatCnn {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    SatCnn::new(2, 8, 8, 3, &mut rng)
+}
+
+fn logits(m: &SatCnn) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let x = Var::constant(Tensor::rand_uniform(&[1, 2, 8, 8], 0.0, 1.0, &mut rng));
+    geotorch_nn::no_grad(|| m.forward(&x, None).value())
+        .as_slice()
+        .to_vec()
+}
+
+#[test]
+fn bare_array_checkpoints_still_load() {
+    // The original format: a JSON array of tensors, no header at all.
+    let path = tmp("bare.json");
+    let donor = model(0);
+    let json = serde_json::to_string(&donor.state_dict().to_value()).expect("serialise");
+    std::fs::write(&path, json).expect("write");
+
+    let meta = checkpoint::peek(&path).expect("peek");
+    assert_eq!(meta.version, 0, "bare arrays are version 0");
+    assert_eq!(meta.model, None);
+
+    let restored = model(9);
+    checkpoint::load(&restored, &path).expect("bare array loads");
+    assert_eq!(logits(&restored), logits(&donor));
+    // load_named accepts a nameless file (nothing to validate against).
+    checkpoint::load_named(&model(8), "satcnn", &path).expect("load_named tolerates no name");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v1_named_checkpoints_still_load() {
+    let path = tmp("named.json");
+    let donor = model(1);
+    checkpoint::save_named(&donor, "satcnn", &path).expect("save");
+
+    let meta = checkpoint::peek(&path).expect("peek");
+    assert_eq!(meta.version, checkpoint::FORMAT_VERSION);
+    assert_eq!(meta.model.as_deref(), Some("satcnn"));
+
+    let restored = model(9);
+    checkpoint::load_named(&restored, "satcnn", &path).expect("v1 loads");
+    assert_eq!(logits(&restored), logits(&donor));
+    // The name check still bites.
+    let err = checkpoint::load_named(&model(8), "other", &path).expect_err("wrong name");
+    assert!(matches!(err, CheckpointError::WrongModel { .. }));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn manifest_peeks_without_reading_payloads_and_loads_through_the_store() {
+    let dir = tmp("store");
+    std::fs::remove_dir_all(&dir).ok();
+    let donor = model(2);
+    let mut store = DeltaStore::open(&dir, Some("satcnn")).expect("open");
+    store.publish_module(&donor).expect("publish");
+
+    // The head manifest file is itself a loadable checkpoint path…
+    let restored = model(9);
+    checkpoint::load_named(&restored, "satcnn", store.head_path()).expect("manifest loads");
+    assert_eq!(logits(&restored), logits(&donor));
+
+    // …and `peek` reads its header without touching any payload: after
+    // deleting every payload file, peek still answers from the manifest
+    // alone while a full load (which needs the tensors) now fails.
+    let head = store.head().expect("head").clone();
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_name().to_string_lossy().starts_with('t') {
+            std::fs::remove_file(entry.path()).expect("remove payload");
+        }
+    }
+    let meta = checkpoint::peek(store.head_path()).expect("peek needs no payloads");
+    assert_eq!(meta.version, 2, "manifests are format version 2");
+    assert_eq!(meta.model.as_deref(), Some("satcnn"));
+    assert_eq!(meta.shapes, head.shapes);
+    assert!(
+        checkpoint::load_named(&model(8), "satcnn", store.head_path()).is_err(),
+        "a full load without payloads must fail, proving peek never read them"
+    );
+
+    // The manifest JSON itself round-trips exactly (content id verified
+    // on parse).
+    let json = std::fs::read_to_string(store.head_path()).expect("read head");
+    let parsed = Manifest::from_json(&json).expect("parse");
+    assert_eq!(parsed, head);
+    assert_eq!(parsed.to_json(), json, "manifest JSON round-trips byte-for-byte");
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

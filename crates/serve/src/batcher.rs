@@ -64,7 +64,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -129,6 +129,35 @@ fn register_gauges() {
     });
 }
 
+/// A full weight set staged for hot-swap, shared read-only across the
+/// replica threads (tensor storage is `Arc`-backed, so the share is
+/// O(parameter count), not O(bytes)).
+struct SwapPayload {
+    label: Arc<str>,
+    state: Vec<Tensor>,
+}
+
+/// The hot-swap mailbox: [`ModelClient::install_weights`] stages a new
+/// weight set here and bumps the generation; each replica notices the
+/// bump *between batches*, loads the staged state dict into its own
+/// model copy, and starts tagging replies with the new version label.
+/// In-flight batches always complete on the weights they started with —
+/// the swap happens on the replica thread, which is never mid-forward
+/// when it checks.
+struct SwapCell {
+    gen: AtomicU64,
+    staged: Mutex<Option<Arc<SwapPayload>>>,
+}
+
+impl SwapCell {
+    fn new() -> SwapCell {
+        SwapCell {
+            gen: AtomicU64::new(0),
+            staged: Mutex::new(None),
+        }
+    }
+}
+
 /// One replica's routing state: in-flight count and liveness.
 pub(crate) struct ReplicaState {
     /// Requests routed to this replica and not yet answered.
@@ -154,6 +183,7 @@ pub(crate) struct WorkerState {
     bound: usize,
     pressured: AtomicBool,
     replicas: Vec<ReplicaState>,
+    swap: SwapCell,
 }
 
 impl WorkerState {
@@ -164,6 +194,7 @@ impl WorkerState {
             bound: bound.max(1),
             pressured: AtomicBool::new(false),
             replicas: (0..replicas.max(1)).map(|_| ReplicaState::new()).collect(),
+            swap: SwapCell::new(),
         }
     }
 
@@ -277,11 +308,16 @@ impl Drop for ReplicaSlot {
     }
 }
 
+/// What a successful prediction carries back: the output row plus the
+/// label of the model version that produced it (so every response is
+/// attributable to exactly one published checkpoint).
+type Reply = Result<(Tensor, Arc<str>), ServeError>;
+
 struct Request {
     input: Tensor,
     enqueued: Instant,
     deadline: Option<Instant>,
-    reply: mpsc::Sender<Result<Tensor, ServeError>>,
+    reply: mpsc::Sender<Reply>,
     /// Held until the request is answered or dropped; releases the
     /// admission slot either way.
     _admit: AdmitGuard,
@@ -297,6 +333,10 @@ struct Request {
 /// fail.
 enum Msg {
     Predict(Request),
+    /// Nudge: new weights were staged in the [`SwapCell`]. Wakes a
+    /// parked replica so an idle model still swaps promptly; carries no
+    /// data (the cell does).
+    Swap,
     Shutdown,
 }
 
@@ -339,8 +379,25 @@ impl ModelWorker {
     where
         F: Fn() -> Result<Box<dyn ServeModel>, ServeError> + Send + Sync + 'static,
     {
+        ModelWorker::spawn_versioned(name, config, "v0", init)
+    }
+
+    /// Like [`ModelWorker::spawn`], with an explicit label for the
+    /// weight set the replicas start serving (e.g. the manifest id of
+    /// the checkpoint loaded at init). Replies are tagged with the
+    /// label until a hot-swap installs a newer one.
+    pub fn spawn_versioned<F>(
+        name: &str,
+        config: BatchConfig,
+        initial_version: &str,
+        init: F,
+    ) -> Result<ModelWorker, ServeError>
+    where
+        F: Fn() -> Result<Box<dyn ServeModel>, ServeError> + Send + Sync + 'static,
+    {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         let n = config.replicas.max(1);
+        let initial_version: Arc<str> = Arc::from(initial_version);
         let state = Arc::new(WorkerState::new(config.queue_bound, n));
         let init: Arc<F> = Arc::new(init);
         let mut replicas = Vec::with_capacity(n);
@@ -352,6 +409,7 @@ impl ModelWorker {
             let thread_state = Arc::clone(&state);
             let init = Arc::clone(&init);
             let stat_name = name.to_string();
+            let version = Arc::clone(&initial_version);
             let join = std::thread::Builder::new()
                 .name(format!("serve-{name}-r{i}"))
                 .spawn(move || {
@@ -376,7 +434,7 @@ impl ModelWorker {
                     // replica: routing skips it, and `/healthz` flips
                     // the model to dead once no replica is left.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        serve_loop(model.as_ref(), &rx, config, model_stat)
+                        serve_loop(model.as_ref(), &rx, config, model_stat, &thread_state, version)
                     }));
                     thread_state.mark_stopped(i, outcome.is_err());
                     if outcome.is_err() {
@@ -592,6 +650,19 @@ impl ModelClient {
         sample: Tensor,
         budget: Option<Duration>,
     ) -> Result<Tensor, ServeError> {
+        self.predict_versioned(sample, budget).map(|(t, _)| t)
+    }
+
+    /// Like [`ModelClient::predict_with_deadline`], additionally
+    /// returning the label of the model version that produced the
+    /// prediction (the checkpoint/manifest id the serving replica had
+    /// installed when the batch ran). Every successful response is
+    /// attributable to exactly one published weight set.
+    pub fn predict_versioned(
+        &self,
+        sample: Tensor,
+        budget: Option<Duration>,
+    ) -> Result<(Tensor, Arc<str>), ServeError> {
         if !self.state.is_alive() {
             return Err(self.gone_error());
         }
@@ -642,6 +713,40 @@ impl ModelClient {
         }
     }
 
+    /// Stage a new weight set and ask every replica to hot-swap to it
+    /// *between batches*. Returns as soon as the payload is staged: each
+    /// replica applies it before opening its next batch (a parked
+    /// replica is woken by a nudge message), in-flight requests complete
+    /// on the weights they were batched with, and no request is dropped.
+    /// `label` tags all subsequent replies (and the HTTP
+    /// `X-Model-Version` header) so responses stay attributable.
+    ///
+    /// The staged state dict is validated per-replica by
+    /// `load_state_dict`, which checks every shape before assigning
+    /// anything — a mismatched payload leaves the old weights serving.
+    pub fn install_weights(&self, label: &str, state: Vec<Tensor>) -> Result<(), ServeError> {
+        if !self.state.is_alive() {
+            return Err(self.gone_error());
+        }
+        let payload = Arc::new(SwapPayload {
+            label: Arc::from(label),
+            state,
+        });
+        *self
+            .state
+            .swap
+            .staged
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(payload);
+        self.state.swap.gen.fetch_add(1, Ordering::Release);
+        // Wake parked replicas so an idle model swaps promptly. A dead
+        // replica's closed channel is fine — the nudge just goes nowhere.
+        for tx in &self.txs {
+            tx.send(Msg::Swap).ok();
+        }
+        Ok(())
+    }
+
     fn gone_error(&self) -> ServeError {
         if self.state.has_died() {
             ServeError::Unavailable(format!("model worker `{}` died", self.name))
@@ -663,7 +768,7 @@ static QUEUE_WAIT: OnceLock<&'static Stat> = OnceLock::new();
 /// busy host: if the reply lands first and this thread is preempted,
 /// the caller can observe the response, come back with a new request,
 /// and get shed by a slot that is still accounted to the old one.
-fn answer(request: Request, result: Result<Tensor, ServeError>) {
+fn answer(request: Request, result: Reply) {
     let Request {
         reply,
         _admit: admit,
@@ -694,26 +799,81 @@ fn reject_if_expired(request: Request) -> Option<Request> {
     }
 }
 
+/// Apply a staged hot-swap if the generation moved. Runs on the replica
+/// thread *between batches only*, so a batch that already started its
+/// forward always completes on the weights it began with.
+///
+/// Failure semantics: an injected `registry.sync.swap` fault leaves the
+/// generation unacknowledged, so the swap is retried before the next
+/// batch — the replica keeps serving (and labelling) the old weights
+/// until a retry succeeds. A structural failure (state dict mismatch)
+/// can never succeed, so it is counted and acknowledged; the publish
+/// path validates shapes before staging, making that path unreachable
+/// in normal operation.
+fn maybe_swap(
+    model: &dyn ServeModel,
+    state: &WorkerState,
+    seen_gen: &mut u64,
+    version: &mut Arc<str>,
+) {
+    let gen = state.swap.gen.load(Ordering::Acquire);
+    if gen == *seen_gen {
+        return;
+    }
+    let staged = state.swap.staged.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Some(staged) = staged else {
+        *seen_gen = gen;
+        return;
+    };
+    // Chaos hook for the swap window: a failed swap must leave the old
+    // weights serving byte-identically, and the retry (next batch, or
+    // the next Msg::Swap nudge) must converge once the fault clears.
+    if let Err(msg) = geotorch_telemetry::fault_point!("registry.sync.swap") {
+        let _ = msg;
+        geotorch_telemetry::count!("serve.swap.failed", 1);
+        return;
+    }
+    match model.load_state_dict(&staged.state) {
+        Ok(()) => {
+            *version = Arc::clone(&staged.label);
+            *seen_gen = gen;
+            geotorch_telemetry::count!("serve.swap.applied", 1);
+        }
+        Err(e) => {
+            // load_state_dict validates every shape before assigning
+            // anything, so the model is untouched here.
+            let _ = e;
+            *seen_gen = gen;
+            geotorch_telemetry::count!("serve.swap.failed", 1);
+        }
+    }
+}
+
 fn serve_loop(
     model: &dyn ServeModel,
     rx: &mpsc::Receiver<Msg>,
     config: BatchConfig,
     model_stat: &'static Stat,
+    state: &WorkerState,
+    initial_version: Arc<str>,
 ) {
+    let mut version = initial_version;
+    let mut seen_gen = 0u64;
     loop {
+        // Between batches is the only place weights may change.
+        maybe_swap(model, state, &mut seen_gen, &mut version);
         // Block for the head of the next batch; the shutdown sentinel
         // (or a fully disconnected channel) stops the replica. Requests
         // that expired while queued are answered with 504 and never
         // open a batch.
-        let first = loop {
-            match rx.recv() {
-                Ok(Msg::Predict(r)) => {
-                    if let Some(r) = reject_if_expired(r) {
-                        break r;
-                    }
-                }
-                Ok(Msg::Shutdown) | Err(_) => return,
-            }
+        let first = match rx.recv() {
+            Ok(Msg::Predict(r)) => match reject_if_expired(r) {
+                Some(r) => r,
+                None => continue,
+            },
+            // Re-run the swap check, then park again.
+            Ok(Msg::Swap) => continue,
+            Ok(Msg::Shutdown) | Err(_) => return,
         };
         let deadline = Instant::now() + Duration::from_millis(config.max_wait_ms);
         let mut batch = vec![first];
@@ -729,6 +889,8 @@ fn serve_loop(
                         batch.push(r);
                     }
                 }
+                // Applied after this batch completes — never mid-batch.
+                Ok(Msg::Swap) => {}
                 Err(mpsc::RecvTimeoutError::Timeout) => break,
                 Ok(Msg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => {
                     stopping = true;
@@ -736,7 +898,7 @@ fn serve_loop(
                 }
             }
         }
-        run_batch(model, batch, config, model_stat);
+        run_batch(model, batch, config, model_stat, &version);
         if stopping {
             return;
         }
@@ -751,6 +913,7 @@ fn run_batch(
     batch: Vec<Request>,
     config: BatchConfig,
     model_stat: &'static Stat,
+    version: &Arc<str>,
 ) {
     // Last deadline check before the forward: a request that expired
     // while the batch window was open must not take a batch slot.
@@ -809,7 +972,7 @@ fn run_batch(
         match result {
             Ok(output) if output.shape().first() == Some(&members.len()) => {
                 for (i, request) in members.into_iter().enumerate() {
-                    answer(request, Ok(output.index_axis(0, i)));
+                    answer(request, Ok((output.index_axis(0, i), Arc::clone(version))));
                 }
             }
             Ok(output) => {

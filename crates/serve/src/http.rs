@@ -12,9 +12,13 @@
 //!
 //! | Endpoint | Method | Body | Response |
 //! |---|---|---|---|
-//! | `/predict/<model>` | POST | `{"shape": [...], "data": [...]}` (one sample, no batch axis) | `{"model": ..., "shape": [...], "data": [...]}` |
+//! | `/predict/<model>` | POST | `{"shape": [...], "data": [...]}` (one sample, no batch axis) | `{"model": ..., "shape": [...], "data": [...]}` + `X-Model-Version` header |
 //! | `/healthz` | GET | — | `{"status": "ok"\|"degraded"\|"draining", "models": [...], "model_status": {...}, "queue_depth": n}` |
 //! | `/metrics` | GET | — | `geotorch-telemetry` snapshot (`serve.*` stats included) |
+//! | `/models/<m>/manifest` | GET | — | head [`Manifest`](geotorch_core::Manifest) JSON (sync-enabled models) |
+//! | `/models/<m>/tensors/<idx>@<ver>-<hash>` | GET | — | one stored tensor payload, verbatim |
+//! | `/models/<m>/publish` | POST | classic checkpoint JSON (full state dict) | `{"model", "id", "changed", "delta_bytes"}`; hot-swaps replicas |
+//! | `/models/<m>/sync` | POST | `{"peer": "host:port"}` | `{"model", "id", "changed", "fetched", "fetched_bytes", "advanced"}`; hot-swaps if advanced |
 //!
 //! Status codes: `200` success, `400` malformed request, `404` unknown
 //! model/route, `408` client too slow, `413` body over the limit, `429`
@@ -26,14 +30,17 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use geotorch_core::checkpoint::CheckpointError;
+use geotorch_core::{DeltaStore, IntegrateReport, PublishReport, TensorVersion};
 use geotorch_tensor::Tensor;
 use serde::{Serialize, Value};
 
 use crate::batcher::{BatchConfig, ModelClient, ModelWorker};
 use crate::front::Front;
+use crate::sync::{sync_store, SyncClient};
 use crate::{Registry, ServeError};
 
 /// Server configuration.
@@ -93,6 +100,11 @@ pub struct Server {
 /// Everything the front (event loop + responders) needs, shared.
 pub(crate) struct FrontState {
     pub(crate) clients: BTreeMap<String, ModelClient>,
+    /// Delta stores of sync-enabled models (see
+    /// [`Registry::enable_sync`]): backing state for the
+    /// `/models/<name>/...` registry routes and in-process
+    /// publish/sync.
+    pub(crate) stores: BTreeMap<String, Arc<Mutex<DeltaStore>>>,
     /// Set by [`Server::begin_drain`]: `/healthz` flips to `draining`
     /// (status 503) and predictions are refused, while the listener
     /// stays up so load balancers see the state change.
@@ -117,7 +129,7 @@ impl Server {
         if config.enable_telemetry {
             geotorch_telemetry::set_enabled(true);
         }
-        let workers = registry.spawn_all(config.batch)?;
+        let (workers, stores) = registry.spawn_all_with_stores(config.batch)?;
         let clients: BTreeMap<String, ModelClient> = workers
             .iter()
             .map(|(name, w)| (name.clone(), w.client()))
@@ -130,6 +142,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let front = Arc::new(FrontState {
             clients,
+            stores,
             draining: AtomicBool::new(false),
             stop: Arc::clone(&shutdown),
             default_deadline: match config.default_deadline_ms {
@@ -166,6 +179,49 @@ impl Server {
     /// control, replicas, and deadlines without the HTTP hop.
     pub fn client(&self, model: &str) -> Option<ModelClient> {
         self.workers.get(model).map(|w| w.client())
+    }
+
+    /// Publish a full state dict for a sync-enabled model: diff it
+    /// against the store head (writing only changed tensor payloads),
+    /// then hot-swap every serving replica to the new weights between
+    /// batches. In-flight requests complete on the old weights; no
+    /// request is dropped. The same operation is reachable over HTTP as
+    /// `POST /models/<name>/publish` with a classic checkpoint body.
+    pub fn publish(&self, model: &str, state: &[Tensor]) -> Result<PublishReport, ServeError> {
+        publish_state(&self.front, model, state)
+    }
+
+    /// Pull `model`'s head from a peer node (`host:port`) and, if the
+    /// local head advanced, hot-swap the serving replicas to it. The
+    /// same operation is reachable over HTTP as
+    /// `POST /models/<name>/sync` with body `{"peer": "host:port"}`.
+    /// On any failure the old weights keep serving and a retry
+    /// converges once the fault clears.
+    pub fn sync_from(&self, model: &str, peer: &str) -> Result<IntegrateReport, ServeError> {
+        sync_from_peer(&self.front, model, peer)
+    }
+
+    /// The head manifest id of a sync-enabled model's store — the label
+    /// replies carry until the next publish/sync.
+    pub fn head_id(&self, model: &str) -> Option<String> {
+        let store = self.front.stores.get(model)?;
+        let store = store.lock().unwrap_or_else(|e| e.into_inner());
+        store.head().map(|h| h.id.clone())
+    }
+
+    /// Run coordination-free GC on a sync-enabled model's store,
+    /// deleting payloads strictly dominated by the head. Returns the
+    /// number of payload files removed.
+    pub fn gc(&self, model: &str) -> Result<u64, ServeError> {
+        let store = self
+            .front
+            .stores
+            .get(model)
+            .ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
+        let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+        store
+            .gc()
+            .map_err(|e| ServeError::Internal(format!("gc: {e}")))
     }
 
     /// Enter the draining state without stopping: `/healthz` reports
@@ -392,7 +448,9 @@ pub(crate) fn route(request: &HttpRequest, front: &FrontState) -> Response {
                     error_json(&ServeError::ModelNotFound(name.to_string()).to_string()),
                 ),
                 Some(client) => match predict(client, name, request, front) {
-                    Ok(json) => respond(200, json),
+                    Ok((json, version)) => {
+                        (200, vec![("X-Model-Version", version)], json)
+                    }
                     Err(e) => {
                         let status = status_for(&e);
                         let mut headers = Vec::new();
@@ -406,8 +464,177 @@ pub(crate) fn route(request: &HttpRequest, front: &FrontState) -> Response {
                 },
             }
         }
+        ("GET", path) if path.starts_with("/models/") => {
+            registry_get(&path["/models/".len()..], front)
+        }
+        ("POST", path) if path.starts_with("/models/") => {
+            registry_post(&path["/models/".len()..], request, front)
+        }
         (method, path) => respond(404, error_json(&format!("no route for {method} {path}"))),
     }
+}
+
+/// `GET /models/<name>/manifest` and
+/// `GET /models/<name>/tensors/<idx>@<ver>-<hash>`: the read half of
+/// the sync wire protocol — what a peer's [`SyncClient`] calls.
+fn registry_get(rest: &str, front: &FrontState) -> Response {
+    let Some((name, tail)) = rest.split_once('/') else {
+        return respond(404, error_json(&format!("no route for /models/{rest}")));
+    };
+    let Some(store) = front.stores.get(name) else {
+        return respond(404, error_json(&format!("model `{name}` has no delta store")));
+    };
+    let store = store.lock().unwrap_or_else(|e| e.into_inner());
+    if tail == "manifest" {
+        return match store.head() {
+            Some(head) => respond(200, head.to_json()),
+            None => respond(404, error_json(&format!("model `{name}` has no published head"))),
+        };
+    }
+    if let Some(spec) = tail.strip_prefix("tensors/") {
+        let Some((idx, entry)) = parse_tensor_spec(spec) else {
+            return respond(
+                400,
+                error_json(&format!("bad tensor spec `{spec}` (want <idx>@<ver>-<hash>)")),
+            );
+        };
+        return match store.payload_bytes(idx, &entry) {
+            Ok(bytes) => respond(200, String::from_utf8_lossy(&bytes).into_owned()),
+            Err(_) => respond(
+                404,
+                error_json(&format!("no payload {idx}@{}-{}", entry.ver, entry.hash)),
+            ),
+        };
+    }
+    respond(404, error_json(&format!("no route for /models/{name}/{tail}")))
+}
+
+/// `POST /models/<name>/publish` (body: a classic checkpoint — bare
+/// array or named header — holding the *full* state dict) and
+/// `POST /models/<name>/sync` (body: `{"peer": "host:port"}`).
+fn registry_post(rest: &str, request: &HttpRequest, front: &FrontState) -> Response {
+    let Some((name, tail)) = rest.split_once('/') else {
+        return respond(404, error_json(&format!("no route for /models/{rest}")));
+    };
+    if front.draining.load(Ordering::SeqCst) {
+        return respond(503, error_json("server is draining"));
+    }
+    let result = match tail {
+        "publish" => publish_body(front, name, request.body()),
+        "sync" => sync_body(front, name, request.body()),
+        _ => {
+            return respond(404, error_json(&format!("no route for /models/{name}/{tail}")));
+        }
+    };
+    match result {
+        Ok(json) => respond(200, json),
+        Err(e) => respond(status_for(&e), error_json(&e.to_string())),
+    }
+}
+
+fn parse_tensor_spec(spec: &str) -> Option<(usize, TensorVersion)> {
+    let (idx, rest) = spec.split_once('@')?;
+    let (ver, hash) = rest.split_once('-')?;
+    Some((
+        idx.parse().ok()?,
+        TensorVersion {
+            ver: ver.parse().ok()?,
+            hash: hash.to_string(),
+        },
+    ))
+}
+
+fn publish_body(front: &FrontState, name: &str, body: &str) -> Result<String, ServeError> {
+    let (meta, state) = geotorch_core::checkpoint::parse_bytes(body)
+        .map_err(|e| ServeError::BadRequest(format!("checkpoint body: {e}")))?;
+    if let Some(saved) = &meta.model {
+        if saved != name {
+            return Err(ServeError::BadRequest(format!(
+                "checkpoint is for model `{saved}`, published to `{name}`"
+            )));
+        }
+    }
+    let report = publish_state(front, name, &state)?;
+    Ok(render(&Value::Object(vec![
+        ("model".to_string(), name.to_value()),
+        ("id".to_string(), report.id.to_value()),
+        ("changed".to_string(), report.changed.to_value()),
+        ("delta_bytes".to_string(), report.delta_bytes.to_value()),
+    ])))
+}
+
+fn sync_body(front: &FrontState, name: &str, body: &str) -> Result<String, ServeError> {
+    let value: Value = serde_json::from_str(body)
+        .map_err(|e| ServeError::BadRequest(format!("sync body: {e}")))?;
+    let peer = value
+        .get("peer")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest("sync body needs `peer`".to_string()))?;
+    let report = sync_from_peer(front, name, peer)?;
+    Ok(render(&Value::Object(vec![
+        ("model".to_string(), name.to_value()),
+        ("id".to_string(), report.id.to_value()),
+        ("changed".to_string(), report.changed.to_value()),
+        ("fetched".to_string(), report.fetched.to_value()),
+        ("fetched_bytes".to_string(), report.fetched_bytes.to_value()),
+        ("advanced".to_string(), Value::Bool(report.advanced)),
+    ])))
+}
+
+/// Shared by the HTTP route and [`Server::publish`]: diff-publish into
+/// the store, then stage the hot-swap. Publishing identical content is
+/// a no-op (no swap churn).
+pub(crate) fn publish_state(
+    front: &FrontState,
+    model: &str,
+    state: &[Tensor],
+) -> Result<PublishReport, ServeError> {
+    let store = front
+        .stores
+        .get(model)
+        .ok_or_else(|| ServeError::ModelNotFound(format!("{model} (no delta store)")))?;
+    let client = front
+        .clients
+        .get(model)
+        .ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
+    let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+    let report = store.publish(state).map_err(|e| match e {
+        CheckpointError::Io(e) => ServeError::Internal(format!("publish: {e}")),
+        other => ServeError::BadRequest(format!("publish: {other}")),
+    })?;
+    if !report.changed.is_empty() {
+        client.install_weights(&report.id, state.to_vec())?;
+    }
+    Ok(report)
+}
+
+/// Shared by the HTTP route and [`Server::sync_from`]: pull the peer's
+/// head, and hot-swap only when the local head advanced. The store
+/// lock is held across the pull, serialising publishes and syncs for
+/// one model (predictions never take it).
+pub(crate) fn sync_from_peer(
+    front: &FrontState,
+    model: &str,
+    peer: &str,
+) -> Result<IntegrateReport, ServeError> {
+    let store = front
+        .stores
+        .get(model)
+        .ok_or_else(|| ServeError::ModelNotFound(format!("{model} (no delta store)")))?;
+    let client = front
+        .clients
+        .get(model)
+        .ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
+    let peer = SyncClient::new(peer);
+    let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+    let report = sync_store(&mut store, &peer, model)?;
+    if report.advanced {
+        let state = store
+            .materialize()
+            .map_err(|e| ServeError::Internal(format!("materialize: {e}")))?;
+        client.install_weights(&report.id, state)?;
+    }
+    Ok(report)
 }
 
 /// Aggregate health: `draining` once a drain began, `degraded` while any
@@ -466,7 +693,7 @@ fn predict(
     name: &str,
     request: &HttpRequest,
     front: &FrontState,
-) -> Result<String, ServeError> {
+) -> Result<(String, String), ServeError> {
     let deadline = match &request.deadline_ms {
         None => front.default_deadline,
         Some(raw) => {
@@ -478,13 +705,13 @@ fn predict(
     };
     let sample: Tensor = serde_json::from_str(request.body())
         .map_err(|e| ServeError::BadRequest(format!("tensor payload: {e}")))?;
-    let output = client.predict_with_deadline(sample, deadline)?;
+    let (output, version) = client.predict_versioned(sample, deadline)?;
     let mut fields = vec![("model".to_string(), name.to_value())];
     match output.to_value() {
         Value::Object(tensor_fields) => fields.extend(tensor_fields),
         other => fields.push(("output".to_string(), other)),
     }
-    Ok(render(&Value::Object(fields)))
+    Ok((render(&Value::Object(fields)), version.to_string()))
 }
 
 fn render(value: &Value) -> String {

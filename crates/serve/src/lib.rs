@@ -57,11 +57,13 @@ mod front;
 mod front;
 pub mod http;
 pub mod registry;
+pub mod sync;
 pub mod tiling;
 
 pub use batcher::{BatchConfig, ModelClient, ModelWorker};
 pub use http::{ServeConfig, Server};
 pub use registry::Registry;
+pub use sync::{sync_store, SyncClient};
 pub use tiling::{run_mosaic, MosaicStats, TileConfig};
 
 use geotorch_models::{GridInput, GridModel, RasterClassifier, Segmenter};

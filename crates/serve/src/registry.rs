@@ -12,8 +12,9 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use geotorch_core::DeltaStore;
 use geotorch_models::{GridModel, RasterClassifier, Segmenter};
 
 use crate::batcher::{BatchConfig, ModelWorker};
@@ -24,6 +25,9 @@ type Builder = Arc<dyn Fn() -> Box<dyn ServeModel> + Send + Sync>;
 struct Entry {
     builder: Builder,
     checkpoint: Option<PathBuf>,
+    /// Root directory of this model's [`DeltaStore`], when the model
+    /// participates in the replicated registry (publish/sync/hot-swap).
+    sync_dir: Option<PathBuf>,
 }
 
 /// Named model constructors with optional checkpoints.
@@ -51,8 +55,28 @@ impl Registry {
             Entry {
                 builder: Arc::new(build),
                 checkpoint,
+                sync_dir: None,
             },
         );
+    }
+
+    /// Turn on the replicated registry for `name`: the model's weights
+    /// live in a [`DeltaStore`] rooted at `dir` (created if missing),
+    /// replicas load the store head at startup, and the server exposes
+    /// the publish/manifest/tensor/sync routes for it. When the store is
+    /// empty it is seeded from the entry's checkpoint file (if any) or
+    /// from the freshly built model's state dict, so the head always
+    /// exists by the time replicas spawn.
+    ///
+    /// Returns `false` when no model named `name` is registered.
+    pub fn enable_sync(&mut self, name: &str, dir: impl Into<PathBuf>) -> bool {
+        match self.entries.get_mut(name) {
+            Some(entry) => {
+                entry.sync_dir = Some(dir.into());
+                true
+            }
+            None => false,
+        }
     }
 
     /// Register a [`RasterClassifier`] (served without the optional
@@ -106,22 +130,94 @@ impl Registry {
         &self,
         config: BatchConfig,
     ) -> Result<BTreeMap<String, ModelWorker>, ServeError> {
+        self.spawn_all_with_stores(config).map(|(workers, _)| workers)
+    }
+
+    /// Like [`Registry::spawn_all`], additionally opening (and seeding,
+    /// if empty) the [`DeltaStore`] of every sync-enabled entry. Sync
+    /// entries spawn with the store head as both their weights and
+    /// their version label, so every reply is attributable to a
+    /// manifest id from the very first request.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn_all_with_stores(
+        &self,
+        config: BatchConfig,
+    ) -> Result<
+        (
+            BTreeMap<String, ModelWorker>,
+            BTreeMap<String, Arc<Mutex<DeltaStore>>>,
+        ),
+        ServeError,
+    > {
         let mut workers = BTreeMap::new();
+        let mut stores = BTreeMap::new();
         for (name, entry) in &self.entries {
             let builder = Arc::clone(&entry.builder);
-            let checkpoint = entry.checkpoint.clone();
             let model_name = name.clone();
-            let worker = ModelWorker::spawn(name, config, move || {
-                let model = builder();
-                if let Some(path) = &checkpoint {
-                    load_checkpoint(model.as_ref(), &model_name, path)?;
+            let worker = match &entry.sync_dir {
+                None => {
+                    let checkpoint = entry.checkpoint.clone();
+                    ModelWorker::spawn(name, config, move || {
+                        let model = builder();
+                        if let Some(path) = &checkpoint {
+                            load_checkpoint(model.as_ref(), &model_name, path)?;
+                        }
+                        Ok(model)
+                    })?
                 }
-                Ok(model)
-            })?;
+                Some(dir) => {
+                    let store = open_store(name, dir, entry)?;
+                    let head_id = store
+                        .head()
+                        .map(|h| h.id.clone())
+                        .expect("open_store guarantees a head");
+                    let head_path = store.head_path();
+                    let worker =
+                        ModelWorker::spawn_versioned(name, config, &head_id, move || {
+                            let model = builder();
+                            load_checkpoint(model.as_ref(), &model_name, &head_path)?;
+                            Ok(model)
+                        })?;
+                    stores.insert(name.clone(), Arc::new(Mutex::new(store)));
+                    worker
+                }
+            };
             workers.insert(name.clone(), worker);
         }
-        Ok(workers)
+        Ok((workers, stores))
     }
+}
+
+/// Open a sync entry's store, seeding an empty one so the head always
+/// exists: from the classic checkpoint file when the entry has one,
+/// otherwise from the freshly built model's own state dict.
+fn open_store(name: &str, dir: &Path, entry: &Entry) -> Result<DeltaStore, ServeError> {
+    let mut store = DeltaStore::open(dir, Some(name))
+        .map_err(|e| ServeError::ModelLoad(format!("{name}: delta store: {e}")))?;
+    if store.head().is_none() {
+        let state = match &entry.checkpoint {
+            Some(path) => {
+                let json = std::fs::read_to_string(path).map_err(|e| {
+                    ServeError::ModelLoad(format!("{name}: {}: {e}", path.display()))
+                })?;
+                let (meta, tensors) = geotorch_core::checkpoint::parse_bytes(&json)
+                    .map_err(|e| ServeError::ModelLoad(format!("{name}: {e}")))?;
+                if let Some(saved) = &meta.model {
+                    if saved != name {
+                        return Err(ServeError::ModelLoad(format!(
+                            "{name}: checkpoint is for model `{saved}`"
+                        )));
+                    }
+                }
+                tensors
+            }
+            None => (entry.builder)().state_dict(),
+        };
+        store
+            .publish(&state)
+            .map_err(|e| ServeError::ModelLoad(format!("{name}: seed publish: {e}")))?;
+    }
+    Ok(store)
 }
 
 fn load_checkpoint(
